@@ -1,0 +1,66 @@
+//! Criterion benchmark: the cheap analytic kernels — EDF-VD tests, the
+//! Chebyshev objective, the static WCET analyser, and trace sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_exec::benchmarks;
+use mc_opt::{ProblemConfig, WcetProblem};
+use mc_sched::analysis::{dbf, edf_vd};
+use mc_task::generate::{generate_hc_taskset, generate_mixed_taskset, GeneratorConfig};
+use mc_task::Criticality;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_edf_vd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let ts = generate_hc_taskset(0.8, &GeneratorConfig::default(), &mut rng).unwrap();
+    c.bench_function("edf_vd_analyze", |b| {
+        b.iter(|| black_box(edf_vd::analyze(&ts)))
+    });
+}
+
+fn bench_objective(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let ts = generate_hc_taskset(0.8, &GeneratorConfig::default(), &mut rng).unwrap();
+    let problem = WcetProblem::from_taskset(&ts, ProblemConfig::default()).unwrap();
+    let factors = vec![5.0; problem.dimension()];
+    c.bench_function("eq13_objective", |b| {
+        b.iter(|| black_box(problem.objective(&factors)))
+    });
+}
+
+fn bench_wcet_analyzer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_wcet");
+    for bench in benchmarks::all().unwrap() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name().to_string()),
+            &bench,
+            |b, bench| b.iter(|| black_box(bench.analyze().unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_trace_sampling(c: &mut Criterion) {
+    let bench = benchmarks::corner().unwrap();
+    c.bench_function("sample_trace_20k", |b| {
+        b.iter(|| black_box(bench.sample_trace(20_000, 1).unwrap()))
+    });
+}
+
+fn bench_demand_analysis(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let ts = generate_mixed_taskset(0.9, &GeneratorConfig::default(), &mut rng).unwrap();
+    c.bench_function("edf_demand_test_u090", |b| {
+        b.iter(|| black_box(dbf::edf_demand_test(&ts, Criticality::Lo, 0).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_edf_vd,
+    bench_objective,
+    bench_wcet_analyzer,
+    bench_trace_sampling,
+    bench_demand_analysis
+);
+criterion_main!(benches);

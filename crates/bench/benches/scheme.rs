@@ -1,0 +1,53 @@
+//! Criterion benchmark: end-to-end design cost of the Chebyshev scheme as
+//! the task-set size grows — the "how long does the offline phase take"
+//! question a deployer would ask.
+
+use chebymc_core::scheme::ChebyshevScheme;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mc_opt::GaConfig;
+use mc_task::generate::{generate_mixed_taskset, GeneratorConfig};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_design");
+    group.sample_size(10);
+    for &u in &[0.3, 0.6, 0.9] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let ts = generate_mixed_taskset(u, &GeneratorConfig::default(), &mut rng).unwrap();
+        let scheme = ChebyshevScheme {
+            ga: GaConfig {
+                population_size: 48,
+                generations: 40,
+                ..GaConfig::default()
+            },
+            problem: Default::default(),
+        };
+        group.bench_with_input(
+            BenchmarkId::new("ga_design", format!("u{u}_tasks{}", ts.len())),
+            &ts,
+            |b, ts| {
+                b.iter(|| {
+                    let mut copy = ts.clone();
+                    black_box(scheme.design(&mut copy).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_uniform_design(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let ts = generate_mixed_taskset(0.7, &GeneratorConfig::default(), &mut rng).unwrap();
+    let scheme = ChebyshevScheme::new();
+    c.bench_function("scheme_design_uniform_n10", |b| {
+        b.iter(|| {
+            let mut copy = ts.clone();
+            black_box(scheme.design_uniform(&mut copy, 10.0).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_design, bench_uniform_design);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Ablation — distribution robustness of Theorem 1 (DESIGN.md §5), plus
+//! the EVT comparison from the related-work discussion (§II).
+//!
+//! The Chebyshev bound `1/(1+n²)` is distribution-free; what varies across
+//! execution-time shapes is the *slack* between the bound and the measured
+//! exceedance. EVT (Gumbel block-maxima) estimates are tighter when the
+//! fit is good but carry no worst-case guarantee.
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin ablation_distributions`
+
+use chebymc_bench::{pct, samples_per_benchmark, Table};
+use mc_stats::chebyshev::one_sided_bound;
+use mc_stats::dist::Dist;
+use mc_stats::estimate::exceedance_rate;
+use mc_stats::evt::evt_level_for_factor;
+use mc_stats::summary::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn families() -> Vec<(&'static str, Dist)> {
+    let mean = 1.0e6;
+    let sd = 1.0e5;
+    vec![
+        ("normal", Dist::normal(mean, sd).unwrap()),
+        ("gumbel (right-skew)", Dist::gumbel_from_moments(mean, sd).unwrap()),
+        ("gumbel-min (left-skew)", Dist::gumbel_min_from_moments(mean, sd).unwrap()),
+        ("lognormal", Dist::log_normal_from_moments(mean, sd).unwrap()),
+        ("weibull k=1.5", {
+            // Scale Weibull to the same mean; its σ differs — that is the
+            // point: levels are taken from *measured* moments either way.
+            let g1 = mc_stats::dist::gamma(1.0 + 1.0 / 1.5);
+            Dist::weibull(1.5, mean / g1).unwrap()
+        }),
+        (
+            "bimodal mixture",
+            Dist::mixture([
+                (0.8, Dist::normal(mean * 0.95, sd * 0.5).unwrap()),
+                (0.2, Dist::normal(mean * 1.2, sd * 0.8).unwrap()),
+            ])
+            .unwrap(),
+        ),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let count = samples_per_benchmark();
+    println!(
+        "Ablation — measured exceedance at ACET + n·σ vs the Chebyshev bound,\n\
+         across execution-time distribution families ({count} samples each)\n"
+    );
+    let mut table = Table::new([
+        "family", "n=1 meas%", "n=1 bound%", "n=2 meas%", "n=2 bound%", "n=3 meas%",
+        "n=3 bound%",
+    ]);
+    for (i, (name, dist)) in families().into_iter().enumerate() {
+        let samples = dist.sample_vec(&mut StdRng::seed_from_u64(10 + i as u64), count);
+        let s = Summary::from_samples(&samples)?;
+        let mut cells = vec![name.to_string()];
+        for n in [1.0, 2.0, 3.0] {
+            let level = s.mean() + n * s.std_dev();
+            let measured = exceedance_rate(&samples, level)?.rate();
+            let bound = one_sided_bound(n);
+            assert!(
+                measured <= bound + 1e-12,
+                "{name}: Theorem 1 violated ({measured} > {bound})"
+            );
+            cells.push(pct(measured));
+            cells.push(pct(bound));
+        }
+        table.row(cells);
+    }
+    table.emit("ablation_distributions");
+
+    println!("EVT (Gumbel block-maxima, block 50) vs Chebyshev at equal risk p = 1/(1+n²):\n");
+    let mut evt_table = Table::new([
+        "family", "n", "chebyshev level", "evt level", "evt/chebyshev",
+    ]);
+    for (i, (name, dist)) in families().into_iter().enumerate() {
+        let samples = dist.sample_vec(&mut StdRng::seed_from_u64(40 + i as u64), count);
+        let s = Summary::from_samples(&samples)?;
+        for n in [2.0, 3.0] {
+            let cheb = s.mean() + n * s.std_dev();
+            let evt = evt_level_for_factor(&samples, 50, n)?;
+            evt_table.row([
+                name.to_string(),
+                format!("{n:.0}"),
+                format!("{cheb:.0}"),
+                format!("{evt:.0}"),
+                format!("{:.3}", evt / cheb),
+            ]);
+        }
+    }
+    evt_table.emit("ablation_evt");
+    println!(
+        "Reading the tables: Theorem 1 holds for every family (it must), with\n\
+         2-10x slack on light tails. EVT levels sit below Chebyshev levels at\n\
+         equal nominal risk — tighter budgets, but only as sound as the fit;\n\
+         the paper's §II argues exactly this trade-off motivates Chebyshev."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Ablation — robustness of the scheme to measurement error.
+//!
+//! The scheme consumes *measured* (ACET, σ). If the deployment-time
+//! distribution drifts from the measurement campaign (different inputs,
+//! cache state, thermal throttling), the Chebyshev bound computed at design
+//! time refers to the wrong moments. This experiment designs with noisy
+//! moments and measures the *true* overrun rate of the assigned budgets
+//! against the clean distribution, asking: how much drift does the
+//! distribution-free slack absorb?
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin ablation_noise`
+
+use chebymc_bench::{pct, samples_per_benchmark, Table};
+use mc_exec::benchmarks;
+use mc_stats::chebyshev::one_sided_bound;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let count = samples_per_benchmark();
+    let n = 3.0;
+    println!(
+        "Ablation — design with drifted (ACET, σ), evaluate on the true\n\
+         distribution (n = {n}, bound = {} %, {count} samples)\n",
+        pct(one_sided_bound(n))
+    );
+    let mut table = Table::new([
+        "benchmark",
+        "drift",
+        "designed C_LO",
+        "true overrun %",
+        "within bound",
+    ]);
+    for bench in benchmarks::table2_suite()? {
+        let truth = bench.sample_trace(count, 7)?;
+        let s = truth.summary()?;
+        for (label, acet_scale, sigma_scale) in [
+            ("none", 1.0, 1.0),
+            ("ACET -10%", 0.9, 1.0),
+            ("ACET +10%", 1.1, 1.0),
+            ("sigma -30%", 1.0, 0.7),
+            ("sigma +30%", 1.0, 1.3),
+            ("both -20%", 0.8, 0.8),
+        ] {
+            let c_lo = s.mean() * acet_scale + n * s.std_dev() * sigma_scale;
+            let measured = truth.overrun_rate(c_lo)?.rate();
+            table.row([
+                bench.name().to_string(),
+                label.to_string(),
+                format!("{c_lo:.0}"),
+                pct(measured),
+                format!("{}", measured <= one_sided_bound(n)),
+            ]);
+        }
+    }
+    table.emit("ablation_noise");
+    println!(
+        "Reading the table: because the measured overrun sits far below the\n\
+         bound (Table II), moderate drift in either moment leaves the *true*\n\
+         rate within the nominal 10 % budget; only simultaneous underestimation\n\
+         of both moments erodes the margin materially. This quantifies the\n\
+         safety cushion the distribution-free bound buys."
+    );
+    Ok(())
+}

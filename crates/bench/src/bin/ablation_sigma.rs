@@ -1,0 +1,58 @@
+//! Ablation — population σ (the paper's Eq. 4, divide by m) vs the
+//! Bessel-corrected sample σ (divide by m−1), and sensitivity of the
+//! designed budgets to the trace length m (DESIGN.md §5).
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin ablation_sigma`
+
+use chebymc_bench::{pct, Table};
+use mc_exec::benchmarks;
+use mc_stats::chebyshev::one_sided_bound;
+use mc_stats::summary::Summary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "Ablation — σ estimator and trace length (benchmark: corner; n = 3)\n"
+    );
+    let bench = benchmarks::corner()?;
+    let n = 3.0;
+    let mut table = Table::new([
+        "m (samples)",
+        "ACET",
+        "pop σ",
+        "sample σ",
+        "C_LO(pop)",
+        "C_LO(sample)",
+        "Δ C_LO %",
+        "meas overrun % @C_LO(pop)",
+    ]);
+    // The reference trace measures the "true" overrun rate of any level.
+    let reference = bench.sample_trace(200_000, 999)?;
+    for m in [10usize, 30, 100, 1_000, 20_000] {
+        let trace = bench.sample_trace(m, 4)?;
+        let s = Summary::from_samples(trace.samples())?;
+        let c_pop = s.mean() + n * s.std_dev();
+        let c_sample = s.mean() + n * s.sample_std_dev();
+        let measured = reference.overrun_rate(c_pop)?.rate();
+        table.row([
+            format!("{m}"),
+            format!("{:.0}", s.mean()),
+            format!("{:.0}", s.std_dev()),
+            format!("{:.0}", s.sample_std_dev()),
+            format!("{c_pop:.0}"),
+            format!("{c_sample:.0}"),
+            format!("{:.2}", (c_sample / c_pop - 1.0) * 100.0),
+            pct(measured),
+        ]);
+    }
+    table.emit("ablation_sigma");
+    println!(
+        "Chebyshev bound at n = 3: {}%.\n\
+         Reading the table: the estimator choice moves C_LO by ≈ 100/(2m) % —\n\
+         irrelevant at the paper's m = 20000 (0.0025 %) and still minor at\n\
+         m = 30; short traces are risky through estimation noise in ACET/σ\n\
+         themselves (watch the measured-overrun column wobble), not through\n\
+         the m vs m−1 convention.",
+        pct(one_sided_bound(n))
+    );
+    Ok(())
+}

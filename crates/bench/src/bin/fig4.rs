@@ -1,0 +1,74 @@
+//! Fig. 4 — the proposed scheme (GA-optimised per-task `n`) against the
+//! λ-range policies of the state of the art: mode-switching probability and
+//! maximum LC utilisation per HC utilisation.
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin fig4`
+//! Scale with `CHEBYMC_SETS` (paper: 1000 task sets per point).
+
+use chebymc_bench::{pct, task_sets_per_point, Table};
+use chebymc_core::pipeline::{evaluate_policy_over_utilization, BatchConfig};
+use chebymc_core::policy::{paper_lambda_baselines, WcetPolicy};
+use mc_opt::{GaConfig, ProblemConfig};
+use mc_task::generate::GeneratorConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = BatchConfig {
+        task_sets: task_sets_per_point(),
+        seed: 4,
+        generator: GeneratorConfig::default(),
+        threads: 0,
+    };
+    let u_values: Vec<f64> = (4..=9).map(|i| i as f64 / 10.0).collect();
+    println!(
+        "Fig. 4 — proposed scheme vs lambda-range policies ({} task sets per point)\n",
+        batch.task_sets
+    );
+
+    let mut policies: Vec<WcetPolicy> = vec![WcetPolicy::ChebyshevGa {
+        ga: GaConfig {
+            population_size: 48,
+            generations: 40,
+            ..GaConfig::default()
+        },
+        problem: ProblemConfig::default(),
+    }];
+    policies.extend(paper_lambda_baselines());
+
+    let mut p_table = Table::new({
+        let mut h = vec!["U_HC^HI".to_string()];
+        h.extend(policies.iter().map(|p| format!("P_MS% {}", p.name())));
+        h
+    });
+    let mut u_table = Table::new({
+        let mut h = vec!["U_HC^HI".to_string()];
+        h.extend(policies.iter().map(|p| format!("maxU% {}", p.name())));
+        h
+    });
+
+    let mut per_policy = Vec::new();
+    for policy in &policies {
+        per_policy.push(evaluate_policy_over_utilization(&u_values, policy, &batch)?);
+    }
+    for (ui, &u) in u_values.iter().enumerate() {
+        let mut p_row = vec![format!("{u:.1}")];
+        let mut u_row = vec![format!("{u:.1}")];
+        for points in &per_policy {
+            p_row.push(pct(points[ui].mean_p_ms));
+            u_row.push(pct(points[ui].mean_max_u_lc_lo));
+        }
+        p_table.row(p_row);
+        u_table.row(u_row);
+    }
+    println!("(a) mode-switching probability:");
+    p_table.emit("fig4a");
+    println!("(b) maximum assigned LC utilisation:");
+    u_table.emit("fig4b");
+    println!(
+        "Shape to compare with the paper: conservative ranges (lambda in [1/4,1])\n\
+         achieve tiny P_MS but poor max U_LC^LO (the paper reports 0.13 % / 32.6 %\n\
+         at U = 0.8); aggressive ranges (lambda in [1/32,1]) achieve high\n\
+         utilisation at ~93 % switching; the proposed scheme gets both\n\
+         (paper: 6.61 % / 82.45 % at U = 0.8)."
+    );
+    Ok(())
+}

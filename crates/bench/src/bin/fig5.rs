@@ -1,0 +1,74 @@
+//! Fig. 5 — the combined objective `(1 − P_MS) · max(U_LC^LO)` (Eq. 13) of
+//! every policy as `U_HC^HI` varies: the single-number comparison in which
+//! the proposed scheme dominates.
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin fig5`
+
+use chebymc_bench::{task_sets_per_point, Table};
+use chebymc_core::pipeline::{evaluate_policy_over_utilization, BatchConfig};
+use chebymc_core::policy::{paper_lambda_baselines, WcetPolicy};
+use mc_opt::{GaConfig, ProblemConfig};
+use mc_task::generate::GeneratorConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let batch = BatchConfig {
+        task_sets: task_sets_per_point(),
+        seed: 5,
+        generator: GeneratorConfig::default(),
+        threads: 0,
+    };
+    let u_values: Vec<f64> = (4..=9).map(|i| i as f64 / 10.0).collect();
+    println!(
+        "Fig. 5 — Eq. 13 objective by varying U_HC^HI ({} task sets per point)\n",
+        batch.task_sets
+    );
+
+    let mut policies: Vec<WcetPolicy> = vec![WcetPolicy::ChebyshevGa {
+        ga: GaConfig {
+            population_size: 48,
+            generations: 40,
+            ..GaConfig::default()
+        },
+        problem: ProblemConfig::default(),
+    }];
+    policies.extend(paper_lambda_baselines());
+    policies.push(WcetPolicy::Acet);
+
+    let mut table = Table::new({
+        let mut h = vec!["U_HC^HI".to_string()];
+        h.extend(policies.iter().map(|p| p.name()));
+        h
+    });
+    let mut per_policy = Vec::new();
+    for policy in &policies {
+        per_policy.push(evaluate_policy_over_utilization(&u_values, policy, &batch)?);
+    }
+    let mut improvements = Vec::new();
+    for (ui, &u) in u_values.iter().enumerate() {
+        let mut row = vec![format!("{u:.1}")];
+        for points in &per_policy {
+            row.push(format!("{:.4}", points[ui].mean_objective));
+        }
+        table.row(row);
+        // Improvement of the scheme over the best lambda baseline.
+        let ours = per_policy[0][ui].mean_objective;
+        let best_baseline = per_policy[1..]
+            .iter()
+            .map(|p| p[ui].mean_objective)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best_baseline > 0.0 {
+            improvements.push((u, (ours / best_baseline - 1.0) * 100.0));
+        }
+    }
+    table.emit("fig5");
+    println!("objective improvement of the scheme over the best baseline per point:");
+    for (u, imp) in &improvements {
+        println!("  U_HC^HI = {u:.1}: {imp:+.1} %");
+    }
+    println!(
+        "\nShape to compare with the paper: the scheme's curve dominates every\n\
+         policy at every utilisation (the paper reports utilisation improvements\n\
+         of up to 85.29 % with P_MS bounded by 9.11 %)."
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Table I — ACET vs pessimistic WCET for the seven benchmark
+//! configurations, and the percentage of instances that overrun when the
+//! optimistic WCET is set to the ACET or to WCET_pes/{4,8,16,32,64}.
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin table1`
+
+use chebymc_bench::{eng, pct, samples_per_benchmark, Table};
+use mc_exec::benchmarks;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples = samples_per_benchmark();
+    println!(
+        "TABLE I — Comparison between ACET and WCET of different applications\n\
+         ({samples} sampled instances per application; paper: 20000 on MEET)\n"
+    );
+    let mut table = Table::new([
+        "Application",
+        "ACET",
+        "WCET_pes",
+        "Std-Dev",
+        "@ACET %",
+        "@W/4 %",
+        "@W/8 %",
+        "@W/16 %",
+        "@W/32 %",
+        "@W/64 %",
+    ]);
+    for (i, bench) in benchmarks::all()?.iter().enumerate() {
+        let trace = bench.sample_trace(samples, 100 + i as u64)?;
+        let summary = trace.summary()?;
+        let spec = bench.spec();
+        let levels = [
+            summary.mean(),
+            spec.wcet_pes / 4.0,
+            spec.wcet_pes / 8.0,
+            spec.wcet_pes / 16.0,
+            spec.wcet_pes / 32.0,
+            spec.wcet_pes / 64.0,
+        ];
+        let mut cells = vec![
+            bench.name().to_string(),
+            eng(summary.mean()),
+            eng(spec.wcet_pes),
+            eng(summary.std_dev()),
+        ];
+        for level in levels {
+            cells.push(pct(trace.overrun_rate(level)?.rate()));
+        }
+        table.row(cells);
+    }
+    table.emit("table1");
+    println!(
+        "Shape to compare with the paper: ~50 % overruns at the ACET for every\n\
+         application, 0 % at WCET/4, and wildly inconsistent behaviour at\n\
+         deeper fractions (qsort-10 and edge saturate near 100 % at WCET/16\n\
+         while qsort-10000 and epic stay near 0 %) — no single lambda works."
+    );
+    Ok(())
+}

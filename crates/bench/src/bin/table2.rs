@@ -1,0 +1,46 @@
+//! Table II — the effect of the Chebyshev factor `n` on task overrunning:
+//! the distribution-free analysis bound `1/(1+n²)` against the measured
+//! overrun percentage of each benchmark at `ACET + n·σ`.
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin table2`
+
+use chebymc_bench::{pct, samples_per_benchmark, Table};
+use mc_exec::benchmarks;
+use mc_stats::chebyshev::one_sided_bound;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let samples = samples_per_benchmark();
+    println!(
+        "TABLE II — The effect of n on task overrunning\n\
+         (measured on {samples} sampled instances per application)\n"
+    );
+    let suite = benchmarks::table2_suite()?;
+    let mut header = vec!["".to_string(), "Analysis".to_string()];
+    header.extend(suite.iter().map(|b| b.name().to_string()));
+    let mut table = Table::new(header);
+
+    // Pre-sample each benchmark once.
+    let mut traces = Vec::new();
+    for (i, bench) in suite.iter().enumerate() {
+        traces.push(bench.sample_trace(samples, 200 + i as u64)?);
+    }
+    for n in 0..=4u32 {
+        let mut cells = vec![
+            format!("n={n}"),
+            format!("{}%", pct(one_sided_bound(n as f64))),
+        ];
+        for trace in &traces {
+            let s = trace.summary()?;
+            let level = s.mean() + n as f64 * s.std_dev();
+            cells.push(format!("{}%", pct(trace.overrun_rate(level)?.rate())));
+        }
+        table.row(cells);
+    }
+    table.emit("table2");
+    println!(
+        "Shape to compare with the paper: every measured column sits well below\n\
+         the distribution-free analysis bound — ~9-16 % at n=1 vs the 50 % bound,\n\
+         ~2-3 % at n=2 vs 20 %, and near zero from n=3 on."
+    );
+    Ok(())
+}

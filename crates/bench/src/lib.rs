@@ -1,0 +1,208 @@
+//! Shared experiment harness for the `chebymc` reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md`'s per-experiment index) and prints it as an aligned
+//! text table plus, optionally, CSV to a file. The experiment *scale* — how
+//! many task sets are averaged per point — defaults to a laptop-friendly
+//! value and can be raised to the paper's 1000 via the `CHEBYMC_SETS`
+//! environment variable.
+
+use std::fmt::Write as _;
+
+/// Number of task sets per data point: `CHEBYMC_SETS` env var, default 200
+/// (the paper uses 1000).
+pub fn task_sets_per_point() -> usize {
+    std::env::var("CHEBYMC_SETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(200)
+}
+
+/// Number of execution-time samples per benchmark: `CHEBYMC_SAMPLES`,
+/// default 20 000 (the paper's value).
+pub fn samples_per_benchmark() -> usize {
+    std::env::var("CHEBYMC_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(20_000)
+}
+
+/// A simple aligned text table with an optional CSV mirror.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}");
+            }
+            out.push('\n');
+        };
+        render(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (cells containing commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(esc)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the text table to stdout and, when `CHEBYMC_CSV_DIR` is set,
+    /// writes `<dir>/<name>.csv` as well.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.to_text());
+        if let Ok(dir) = std::env::var("CHEBYMC_CSV_DIR") {
+            let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(csv written to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a probability as a percentage with two decimals, matching the
+/// paper's table style.
+pub fn pct(p: f64) -> String {
+    format!("{:.2}", p * 100.0)
+}
+
+/// Formats a cycle count in engineering notation like the paper's Table I
+/// (`2.3e2`).
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let exp = x.abs().log10().floor() as i32;
+    let mantissa = x / 10f64.powi(exp);
+    format!("{mantissa:.1}e{exp}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_padding() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(vec!["longer-name".to_string()]); // padded
+        let text = t.to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].contains("name"));
+        assert!(text.contains("longer-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn pct_and_eng_formats() {
+        assert_eq!(pct(0.5022), "50.22");
+        assert_eq!(pct(0.0), "0.00");
+        assert_eq!(eng(230.0), "2.3e2");
+        assert_eq!(eng(1.0e10), "1.0e10");
+        assert_eq!(eng(0.0), "0");
+    }
+
+    #[test]
+    fn scale_defaults() {
+        // Without env overrides the defaults hold.
+        if std::env::var("CHEBYMC_SETS").is_err() {
+            assert_eq!(task_sets_per_point(), 200);
+        }
+        if std::env::var("CHEBYMC_SAMPLES").is_err() {
+            assert_eq!(samples_per_benchmark(), 20_000);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! `chebymc-core` — the primary contribution of *"Improving the Timing
+//! Behaviour of Mixed-Criticality Systems Using Chebyshev's Theorem"*
+//! (DATE 2021), as a library.
+//!
+//! The paper's scheme chooses each high-criticality task's *optimistic*
+//! WCET as `C_LO = ACET + n·σ` and bounds the probability of overrunning it
+//! — and hence of a system mode switch — by the one-sided Chebyshev
+//! inequality `1/(1+n²)`, independent of the execution-time distribution.
+//! The per-task factors `nᵢ` are optimised (GA) to maximise
+//! `(1 − P_MS) · max(U_LC^LO)` under EDF-VD schedulability.
+//!
+//! * [`scheme`] — [`scheme::ChebyshevScheme`], the end-to-end entry point.
+//! * [`policy`] — [`policy::WcetPolicy`]: the Chebyshev family plus the
+//!   λ-fraction baselines the paper compares against.
+//! * [`metrics`] — design metrics: Eq. 10 (`P_MS`), Eqs. 11–12
+//!   (`max U_LC^LO`), Eq. 13 (objective), Eq. 8 (schedulability).
+//! * [`pipeline`] — batch evaluation over synthetic task sets (Figs. 3–6).
+//!
+//! # Example
+//!
+//! ```
+//! use chebymc_core::scheme::ChebyshevScheme;
+//! use mc_task::generate::{generate_mixed_taskset, GeneratorConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut ts = generate_mixed_taskset(0.7, &GeneratorConfig::default(), &mut rng)?;
+//! let report = ChebyshevScheme::new().design(&mut ts)?;
+//! println!(
+//!     "P_MS = {:.3}, max U_LC^LO = {:.3}",
+//!     report.metrics.p_ms, report.metrics.max_u_lc_lo
+//! );
+//! assert!(report.metrics.schedulable);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod multi;
+pub mod pipeline;
+pub mod policy;
+pub mod scheme;
+
+use mc_task::TaskId;
+use std::error::Error;
+use std::fmt;
+
+pub use metrics::{design_metrics, DesignMetrics};
+pub use policy::WcetPolicy;
+pub use scheme::{ChebyshevScheme, DesignReport};
+
+/// Errors produced by the core scheme.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An HC task lacks the execution profile the scheme consumes.
+    MissingProfile {
+        /// The offending task.
+        id: TaskId,
+    },
+    /// A policy parameter is out of range.
+    InvalidPolicy {
+        /// What was violated.
+        reason: &'static str,
+    },
+    /// A task-model error.
+    Task(mc_task::TaskError),
+    /// An optimiser error.
+    Opt(mc_opt::OptError),
+    /// A scheduling/simulation error.
+    Sched(mc_sched::SchedError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::MissingProfile { id } => {
+                write!(f, "HC task {id} has no execution profile")
+            }
+            CoreError::InvalidPolicy { reason } => write!(f, "invalid policy: {reason}"),
+            CoreError::Task(e) => write!(f, "task error: {e}"),
+            CoreError::Opt(e) => write!(f, "optimiser error: {e}"),
+            CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Task(e) => Some(e),
+            CoreError::Opt(e) => Some(e),
+            CoreError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mc_task::TaskError> for CoreError {
+    fn from(e: mc_task::TaskError) -> Self {
+        CoreError::Task(e)
+    }
+}
+
+impl From<mc_opt::OptError> for CoreError {
+    fn from(e: mc_opt::OptError) -> Self {
+        CoreError::Opt(e)
+    }
+}
+
+impl From<mc_sched::SchedError> for CoreError {
+    fn from(e: mc_sched::SchedError) -> Self {
+        CoreError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(CoreError::MissingProfile { id: TaskId::new(5) }
+            .to_string()
+            .contains("τ5"));
+        assert!(CoreError::InvalidPolicy { reason: "nope" }
+            .to_string()
+            .contains("nope"));
+    }
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = mc_task::TaskError::DuplicateTaskId { id: TaskId::new(0) }.into();
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = mc_opt::OptError::EmptyChromosome.into();
+        assert!(Error::source(&e).is_some());
+        let e: CoreError = mc_sched::SchedError::EmptyTaskSet.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,240 @@
+//! Design-time metrics for an assigned task set.
+//!
+//! After a WCET-assignment policy has set every HC task's `C_LO`, this
+//! module computes the quantities the paper evaluates: the per-task implied
+//! Chebyshev factor and overrun-probability bound, the system mode-switch
+//! probability (Eq. 10), the admissible LC utilisation (Eqs. 11–12), the
+//! Eq. 13 objective, and EDF-VD schedulability of the set as it stands
+//! (Eq. 8).
+
+use crate::CoreError;
+use mc_sched::analysis::edf_vd;
+use mc_stats::chebyshev;
+use mc_task::{TaskId, TaskSet};
+use serde::{Deserialize, Serialize};
+
+/// Per-HC-task design outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskDesign {
+    /// The task.
+    pub id: TaskId,
+    /// Assigned optimistic WCET in nanoseconds.
+    pub c_lo: f64,
+    /// The implied Chebyshev factor `n = (C_LO − ACET)/σ` (negative when
+    /// the budget sits below the ACET; infinite when σ = 0 and
+    /// `C_LO ≥ ACET`).
+    pub factor: f64,
+    /// Distribution-free bound on the task's overrun probability:
+    /// `1/(1+n²)` for `n ≥ 0`, `1` for `n < 0` (the bound is vacuous), `0`
+    /// for a constant-time task whose budget covers the constant.
+    pub overrun_bound: f64,
+}
+
+/// System-level design metrics (the axes of the paper's Figs. 2–5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignMetrics {
+    /// `U_HC^LO` under the assigned optimistic WCETs.
+    pub u_hc_lo: f64,
+    /// `U_HC^HI`.
+    pub u_hc_hi: f64,
+    /// `U_LC^LO` of the LC tasks actually present.
+    pub u_lc_lo: f64,
+    /// Mode-switch probability bound (Eq. 10).
+    pub p_ms: f64,
+    /// Maximum admissible LC utilisation (Eqs. 11–12).
+    pub max_u_lc_lo: f64,
+    /// The Eq. 13 objective `(1 − P_MS) · max(U_LC^LO)`.
+    pub objective: f64,
+    /// Whether Eq. 8 holds for the set as assigned (its *actual* LC load).
+    pub schedulable: bool,
+    /// Per-task breakdown.
+    pub per_task: Vec<TaskDesign>,
+}
+
+/// The implied factor and overrun bound for one assignment.
+fn task_design(
+    id: TaskId,
+    c_lo: f64,
+    acet: f64,
+    sigma: f64,
+) -> TaskDesign {
+    let (factor, overrun_bound) = if sigma == 0.0 {
+        if c_lo >= acet {
+            (f64::INFINITY, 0.0)
+        } else {
+            (f64::NEG_INFINITY, 1.0)
+        }
+    } else {
+        let n = (c_lo - acet) / sigma;
+        let bound = if n >= 0.0 {
+            chebyshev::one_sided_bound(n)
+        } else {
+            1.0
+        };
+        (n, bound)
+    };
+    TaskDesign {
+        id,
+        c_lo,
+        factor,
+        overrun_bound,
+    }
+}
+
+/// Computes the design metrics of an assigned task set.
+///
+/// # Errors
+///
+/// Returns [`CoreError::MissingProfile`] when an HC task lacks an
+/// execution profile (the implied factor is undefined without one).
+///
+/// # Example
+///
+/// ```
+/// use chebymc_core::metrics::design_metrics;
+/// use mc_task::time::Duration;
+/// use mc_task::{Criticality, ExecutionProfile, McTask, TaskId, TaskSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let ts = TaskSet::from_tasks(vec![McTask::builder(TaskId::new(0))
+///     .criticality(Criticality::Hi)
+///     .period(Duration::from_millis(100))
+///     .c_lo(Duration::from_millis(5)) // ACET + 2σ
+///     .c_hi(Duration::from_millis(40))
+///     .profile(ExecutionProfile::new(3.0e6, 1.0e6, 40.0e6)?)
+///     .build()?])?;
+/// let m = design_metrics(&ts)?;
+/// assert!((m.per_task[0].factor - 2.0).abs() < 1e-9);
+/// assert!((m.p_ms - 0.2).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn design_metrics(ts: &TaskSet) -> Result<DesignMetrics, CoreError> {
+    let mut per_task = Vec::new();
+    let mut no_switch = 1.0;
+    for t in ts.hc_tasks() {
+        let p = t
+            .profile()
+            .ok_or(CoreError::MissingProfile { id: t.id() })?;
+        let design = task_design(t.id(), t.c_lo().as_nanos() as f64, p.acet(), p.sigma());
+        no_switch *= 1.0 - design.overrun_bound;
+        per_task.push(design);
+    }
+    let u_hc_lo = ts.u_hc_lo();
+    let u_hc_hi = ts.u_hc_hi();
+    let u_lc_lo = ts.u_lc_lo();
+    let p_ms = 1.0 - no_switch;
+    let max_u_lc_lo = edf_vd::max_u_lc_lo(u_hc_lo, u_hc_hi);
+    Ok(DesignMetrics {
+        u_hc_lo,
+        u_hc_hi,
+        u_lc_lo,
+        p_ms,
+        max_u_lc_lo,
+        objective: (1.0 - p_ms) * max_u_lc_lo,
+        schedulable: edf_vd::conditions_hold(u_hc_lo, u_hc_hi, u_lc_lo),
+        per_task,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_task::time::Duration;
+    use mc_task::{Criticality, ExecutionProfile, McTask};
+
+    fn hc_with_budget(id: u32, c_lo_ms: u64) -> McTask {
+        McTask::builder(TaskId::new(id))
+            .criticality(Criticality::Hi)
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(c_lo_ms))
+            .c_hi(Duration::from_millis(40))
+            .profile(ExecutionProfile::new(3.0e6, 1.0e6, 40.0e6).unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn implied_factor_matches_assignment() {
+        // C_LO = 5 ms = ACET(3 ms) + 2σ(1 ms).
+        let ts = TaskSet::from_tasks(vec![hc_with_budget(0, 5)]).unwrap();
+        let m = design_metrics(&ts).unwrap();
+        assert_eq!(m.per_task.len(), 1);
+        assert!((m.per_task[0].factor - 2.0).abs() < 1e-9);
+        assert!((m.per_task[0].overrun_bound - 0.2).abs() < 1e-9);
+        assert!((m.p_ms - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_below_acet_has_vacuous_bound() {
+        // C_LO = 2 ms < ACET = 3 ms → bound 1, P_MS = 1, objective 0.
+        let ts = TaskSet::from_tasks(vec![hc_with_budget(0, 2)]).unwrap();
+        let m = design_metrics(&ts).unwrap();
+        assert!(m.per_task[0].factor < 0.0);
+        assert_eq!(m.per_task[0].overrun_bound, 1.0);
+        assert_eq!(m.p_ms, 1.0);
+        assert_eq!(m.objective, 0.0);
+    }
+
+    #[test]
+    fn constant_time_task_never_overruns() {
+        let t = McTask::builder(TaskId::new(0))
+            .criticality(Criticality::Hi)
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(5))
+            .c_hi(Duration::from_millis(40))
+            .profile(ExecutionProfile::new(3.0e6, 0.0, 40.0e6).unwrap())
+            .build()
+            .unwrap();
+        let ts = TaskSet::from_tasks(vec![t]).unwrap();
+        let m = design_metrics(&ts).unwrap();
+        assert_eq!(m.per_task[0].overrun_bound, 0.0);
+        assert_eq!(m.p_ms, 0.0);
+    }
+
+    #[test]
+    fn multiple_tasks_compose_eq10() {
+        // Two tasks at n = 2 each: P_MS = 1 − 0.8² = 0.36.
+        let ts =
+            TaskSet::from_tasks(vec![hc_with_budget(0, 5), hc_with_budget(1, 5)]).unwrap();
+        let m = design_metrics(&ts).unwrap();
+        assert!((m.p_ms - 0.36).abs() < 1e-9);
+        assert!((m.u_hc_lo - 0.1).abs() < 1e-9);
+        assert!((m.u_hc_hi - 0.8).abs() < 1e-9);
+        // max U_LC^LO = min(0.9, 0.2/(0.2+0.1)) = 2/3.
+        assert!((m.max_u_lc_lo - 2.0 / 3.0).abs() < 1e-9);
+        assert!((m.objective - 0.64 * 2.0 / 3.0).abs() < 1e-9);
+        assert!(m.schedulable); // no LC tasks present.
+    }
+
+    #[test]
+    fn missing_profile_is_reported() {
+        let t = McTask::builder(TaskId::new(0))
+            .criticality(Criticality::Hi)
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(5))
+            .c_hi(Duration::from_millis(40))
+            .build()
+            .unwrap();
+        let ts = TaskSet::from_tasks(vec![t]).unwrap();
+        assert!(matches!(
+            design_metrics(&ts).unwrap_err(),
+            CoreError::MissingProfile { .. }
+        ));
+    }
+
+    #[test]
+    fn lc_only_set_is_trivial() {
+        let t = McTask::builder(TaskId::new(0))
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(50))
+            .build()
+            .unwrap();
+        let ts = TaskSet::from_tasks(vec![t]).unwrap();
+        let m = design_metrics(&ts).unwrap();
+        assert_eq!(m.p_ms, 0.0);
+        assert_eq!(m.max_u_lc_lo, 1.0);
+        assert_eq!(m.objective, 1.0);
+        assert!(m.schedulable);
+    }
+}

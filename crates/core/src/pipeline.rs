@@ -1,0 +1,524 @@
+//! Batch evaluation pipelines behind the paper's Figs. 3–6.
+//!
+//! Each figure averages a metric over many synthetic task sets per
+//! utilisation point (1000 in the paper). The pipelines here generate the
+//! sets (seeded and reproducible), apply a [`WcetPolicy`], and aggregate
+//! design metrics or schedulability verdicts.
+
+use crate::metrics::design_metrics;
+use crate::policy::WcetPolicy;
+use crate::CoreError;
+use mc_sched::analysis::{edf_vd, liu};
+use mc_task::generate::{
+    generate_hc_taskset, generate_lo_bounded_taskset, generate_mixed_taskset, GeneratorConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How many task sets to average per point, and how to generate them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Task sets per utilisation point (the paper uses 1000).
+    pub task_sets: usize,
+    /// Base seed; the i-th set of the j-th point derives its own seed.
+    pub seed: u64,
+    /// Synthetic-workload parameters.
+    pub generator: GeneratorConfig,
+    /// Worker threads for the per-set loop (`0` = all available cores).
+    /// Results are bit-identical for any thread count — every set draws
+    /// from its own derived seed.
+    #[serde(default)]
+    pub threads: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            task_sets: 100,
+            seed: 0,
+            generator: GeneratorConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    fn validate(&self) -> Result<(), CoreError> {
+        if self.task_sets == 0 {
+            return Err(CoreError::InvalidPolicy {
+                reason: "batch needs at least one task set",
+            });
+        }
+        self.generator
+            .validate()
+            .map_err(CoreError::Task)?;
+        Ok(())
+    }
+
+    fn set_seed(&self, point: usize, set: usize) -> u64 {
+        // SplitMix-style mixing keeps streams independent across points.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + point as u64 * 65_537 + set as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Evaluates `f(set_index)` for every set in the batch, fanning out over
+/// `batch.threads` workers. Order and values are independent of the thread
+/// count; the first error (by set index) wins.
+fn map_sets<R, F>(batch: &BatchConfig, f: F) -> Result<Vec<R>, CoreError>
+where
+    R: Send,
+    F: Fn(usize) -> Result<R, CoreError> + Sync,
+{
+    let count = batch.task_sets;
+    let threads = if batch.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        batch.threads
+    }
+    .min(count.max(1));
+    if threads <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let mut slots: Vec<Option<Result<R, CoreError>>> = (0..count).map(|_| None).collect();
+    let chunk = count.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slice) in slots.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(t * chunk + i));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot is written by its worker"))
+        .collect()
+}
+
+/// Re-seeds a policy's internal randomness so every task set in a batch
+/// gets an independent draw.
+fn reseed(policy: &WcetPolicy, seed: u64) -> WcetPolicy {
+    match policy {
+        WcetPolicy::LambdaRange { lambda_min, .. } => WcetPolicy::LambdaRange {
+            lambda_min: *lambda_min,
+            seed,
+        },
+        WcetPolicy::ChebyshevGa { ga, problem } => WcetPolicy::ChebyshevGa {
+            ga: mc_opt::GaConfig { seed, ..*ga },
+            problem: *problem,
+        },
+        other => other.clone(),
+    }
+}
+
+/// Aggregated design metrics at one utilisation point (a Fig. 3/4/5 data
+/// point).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyPoint {
+    /// The `U_HC^HI` target of the generated sets.
+    pub u_hc_hi: f64,
+    /// Mean mode-switch probability (Eq. 10) over the batch.
+    pub mean_p_ms: f64,
+    /// Mean `max(U_LC^LO)` (Eqs. 11–12) over the batch.
+    pub mean_max_u_lc_lo: f64,
+    /// Mean Eq. 13 objective over the batch.
+    pub mean_objective: f64,
+}
+
+/// Evaluates `policy` over HC-only task sets at each `U_HC^HI` in
+/// `u_values` — the engine behind Figs. 3–5.
+///
+/// # Errors
+///
+/// Propagates generation and assignment errors; returns
+/// [`CoreError::InvalidPolicy`] for an empty batch or empty `u_values`.
+pub fn evaluate_policy_over_utilization(
+    u_values: &[f64],
+    policy: &WcetPolicy,
+    batch: &BatchConfig,
+) -> Result<Vec<PolicyPoint>, CoreError> {
+    batch.validate()?;
+    if u_values.is_empty() {
+        return Err(CoreError::InvalidPolicy {
+            reason: "at least one utilisation point is required",
+        });
+    }
+    let mut out = Vec::with_capacity(u_values.len());
+    for (pi, &u) in u_values.iter().enumerate() {
+        let per_set = map_sets(batch, |si| {
+            let seed = batch.set_seed(pi, si);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ts = generate_hc_taskset(u, &batch.generator, &mut rng)
+                .map_err(CoreError::Task)?;
+            reseed(policy, seed).assign(&mut ts)?;
+            let m = design_metrics(&ts)?;
+            Ok((m.p_ms, m.max_u_lc_lo, m.objective))
+        })?;
+        let n = batch.task_sets as f64;
+        out.push(PolicyPoint {
+            u_hc_hi: u,
+            mean_p_ms: per_set.iter().map(|r| r.0).sum::<f64>() / n,
+            mean_max_u_lc_lo: per_set.iter().map(|r| r.1).sum::<f64>() / n,
+            mean_objective: per_set.iter().map(|r| r.2).sum::<f64>() / n,
+        });
+    }
+    Ok(out)
+}
+
+/// The scheduling approach whose acceptance is measured in Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulingApproach {
+    /// Baruah et al. RTNS'12: EDF-VD, all LC tasks dropped in HI mode
+    /// (paper Eq. 8).
+    BaruahDropAll,
+    /// Liu et al. RTSS'16: EDF-VD with LC tasks degraded to the given
+    /// fraction of their budget in HI mode (the paper uses 0.5).
+    LiuDegrade {
+        /// Retained LC budget fraction in HI mode.
+        fraction: f64,
+    },
+}
+
+impl SchedulingApproach {
+    /// Whether `ts` (with `C_LO` already assigned) passes this approach's
+    /// schedulability test.
+    pub fn schedulable(&self, ts: &mc_task::TaskSet) -> bool {
+        match self {
+            SchedulingApproach::BaruahDropAll => edf_vd::analyze(ts).schedulable,
+            SchedulingApproach::LiuDegrade { fraction } => {
+                liu::analyze(ts, *fraction).schedulable
+            }
+        }
+    }
+}
+
+/// One acceptance-ratio data point (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptancePoint {
+    /// The generated bound utilisation `U_HC^HI + U_LC^LO`.
+    pub u_bound: f64,
+    /// Fraction of task sets deemed schedulable.
+    pub ratio: f64,
+}
+
+/// Measures the acceptance ratio of `policy` + `approach` over mixed task
+/// sets at each bound utilisation — the engine behind Fig. 6.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate_policy_over_utilization`].
+pub fn acceptance_ratio(
+    u_bounds: &[f64],
+    policy: &WcetPolicy,
+    approach: SchedulingApproach,
+    batch: &BatchConfig,
+) -> Result<Vec<AcceptancePoint>, CoreError> {
+    batch.validate()?;
+    if u_bounds.is_empty() {
+        return Err(CoreError::InvalidPolicy {
+            reason: "at least one utilisation point is required",
+        });
+    }
+    if let SchedulingApproach::LiuDegrade { fraction } = approach {
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(CoreError::InvalidPolicy {
+                reason: "degradation fraction must be in [0, 1]",
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(u_bounds.len());
+    for (pi, &u) in u_bounds.iter().enumerate() {
+        let verdicts = map_sets(batch, |si| {
+            let seed = batch.set_seed(pi, si);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ts = generate_mixed_taskset(u, &batch.generator, &mut rng)
+                .map_err(CoreError::Task)?;
+            reseed(policy, seed).assign(&mut ts)?;
+            Ok(approach.schedulable(&ts))
+        })?;
+        let accepted = verdicts.iter().filter(|&&ok| ok).count();
+        out.push(AcceptancePoint {
+            u_bound: u,
+            ratio: accepted as f64 / batch.task_sets as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// The Fig. 6 experiment proper: task sets whose **LO-mode** utilisation
+/// reaches `u_bound`, with HC tasks budgeted the λ-baseline way
+/// (`C_LO = λᵢ·C_HI`, `λᵢ ∈ lambda_range`). With `scheme = None` the sets
+/// are tested as generated (the published approaches); with
+/// `scheme = Some(policy)` the policy re-derives every `C_LO` first (the
+/// "+ our scheme" variants).
+///
+/// # Errors
+///
+/// Same conditions as [`acceptance_ratio`], plus generator validation of
+/// `lambda_range`.
+pub fn acceptance_ratio_lo_bounded(
+    u_bounds: &[f64],
+    scheme: Option<&WcetPolicy>,
+    approach: SchedulingApproach,
+    lambda_range: (f64, f64),
+    batch: &BatchConfig,
+) -> Result<Vec<AcceptancePoint>, CoreError> {
+    batch.validate()?;
+    if u_bounds.is_empty() {
+        return Err(CoreError::InvalidPolicy {
+            reason: "at least one utilisation point is required",
+        });
+    }
+    let mut out = Vec::with_capacity(u_bounds.len());
+    for (pi, &u) in u_bounds.iter().enumerate() {
+        let verdicts = map_sets(batch, |si| {
+            let seed = batch.set_seed(pi, si);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut ts =
+                generate_lo_bounded_taskset(u, lambda_range, &batch.generator, &mut rng)
+                    .map_err(CoreError::Task)?;
+            if let Some(policy) = scheme {
+                reseed(policy, seed).assign(&mut ts)?;
+            }
+            Ok(approach.schedulable(&ts))
+        })?;
+        let accepted = verdicts.iter().filter(|&&ok| ok).count();
+        out.push(AcceptancePoint {
+            u_bound: u,
+            ratio: accepted as f64 / batch.task_sets as f64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_opt::{GaConfig, ProblemConfig};
+
+    fn small_batch() -> BatchConfig {
+        BatchConfig {
+            task_sets: 20,
+            seed: 1,
+            generator: GeneratorConfig::default(),
+            threads: 0,
+        }
+    }
+
+    #[test]
+    fn results_are_identical_for_any_thread_count() {
+        let policy = WcetPolicy::ChebyshevUniform { n: 5.0 };
+        let us = [0.5, 0.8];
+        let mut single = small_batch();
+        single.threads = 1;
+        let mut many = small_batch();
+        many.threads = 7; // deliberately uneven vs. 20 sets
+        let a = evaluate_policy_over_utilization(&us, &policy, &single).unwrap();
+        let b = evaluate_policy_over_utilization(&us, &policy, &many).unwrap();
+        assert_eq!(a, b);
+        let ra =
+            acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &single).unwrap();
+        let rb =
+            acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &many).unwrap();
+        assert_eq!(ra, rb);
+    }
+
+    fn fast_ga_policy() -> WcetPolicy {
+        WcetPolicy::ChebyshevGa {
+            ga: GaConfig {
+                population_size: 24,
+                generations: 20,
+                ..GaConfig::default()
+            },
+            problem: ProblemConfig::default(),
+        }
+    }
+
+    #[test]
+    fn policy_sweep_p_ms_grows_with_utilization() {
+        // Fig. 3a: more HC tasks → higher P_MS at fixed n.
+        let points = evaluate_policy_over_utilization(
+            &[0.3, 0.6, 0.9],
+            &WcetPolicy::ChebyshevUniform { n: 10.0 },
+            &small_batch(),
+        )
+        .unwrap();
+        assert!(points[0].mean_p_ms < points[2].mean_p_ms);
+        // Fig. 3b: max U_LC^LO falls with utilisation.
+        assert!(points[0].mean_max_u_lc_lo > points[2].mean_max_u_lc_lo);
+    }
+
+    #[test]
+    fn higher_n_lowers_p_ms_at_fixed_utilization() {
+        let batch = small_batch();
+        let low_n = evaluate_policy_over_utilization(
+            &[0.6],
+            &WcetPolicy::ChebyshevUniform { n: 2.0 },
+            &batch,
+        )
+        .unwrap();
+        let high_n = evaluate_policy_over_utilization(
+            &[0.6],
+            &WcetPolicy::ChebyshevUniform { n: 20.0 },
+            &batch,
+        )
+        .unwrap();
+        assert!(high_n[0].mean_p_ms < low_n[0].mean_p_ms);
+        assert!(high_n[0].mean_max_u_lc_lo <= low_n[0].mean_max_u_lc_lo + 1e-9);
+    }
+
+    #[test]
+    fn ga_policy_beats_lambda_baselines_on_objective() {
+        // The Fig. 5 headline, in miniature.
+        let batch = small_batch();
+        let us = [0.5, 0.8];
+        let ga = evaluate_policy_over_utilization(&us, &fast_ga_policy(), &batch).unwrap();
+        for baseline in crate::policy::paper_lambda_baselines() {
+            let base = evaluate_policy_over_utilization(&us, &baseline, &batch).unwrap();
+            for (g, b) in ga.iter().zip(&base) {
+                assert!(
+                    g.mean_objective >= b.mean_objective,
+                    "GA {} vs {} {} at U = {}",
+                    g.mean_objective,
+                    baseline.name(),
+                    b.mean_objective,
+                    g.u_hc_hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acceptance_ratio_is_monotone_decreasing_in_u() {
+        let points = acceptance_ratio(
+            &[0.4, 0.7, 0.95],
+            &WcetPolicy::ChebyshevUniform { n: 5.0 },
+            SchedulingApproach::BaruahDropAll,
+            &small_batch(),
+        )
+        .unwrap();
+        assert!(points[0].ratio >= points[1].ratio);
+        assert!(points[1].ratio >= points[2].ratio);
+        assert_eq!(points[0].ratio, 1.0, "low utilisation accepts everything");
+    }
+
+    #[test]
+    fn scheme_accepts_more_than_lambda_baseline() {
+        // Fig. 6's headline: at high U_bound the Chebyshev scheme keeps a
+        // higher acceptance ratio than the λ ∈ [1/4, 1] baseline.
+        let batch = small_batch();
+        let us = [0.85];
+        let ours = acceptance_ratio(
+            &us,
+            &WcetPolicy::ChebyshevUniform { n: 3.0 },
+            SchedulingApproach::BaruahDropAll,
+            &batch,
+        )
+        .unwrap();
+        let baseline = acceptance_ratio(
+            &us,
+            &WcetPolicy::LambdaRange {
+                lambda_min: 0.25,
+                seed: 0,
+            },
+            SchedulingApproach::BaruahDropAll,
+            &batch,
+        )
+        .unwrap();
+        assert!(
+            ours[0].ratio >= baseline[0].ratio,
+            "ours {} vs baseline {}",
+            ours[0].ratio,
+            baseline[0].ratio
+        );
+    }
+
+    #[test]
+    fn fig6_pipeline_shows_scheme_advantage_at_high_bounds() {
+        // The paper's Fig. 6 shape: at a high LO-mode bound, the λ-designed
+        // sets fail (hidden HI demand C_LO/λ) while the scheme-redesigned
+        // ones keep passing.
+        let batch = small_batch();
+        let baseline = acceptance_ratio_lo_bounded(
+            &[0.6, 0.95],
+            None,
+            SchedulingApproach::BaruahDropAll,
+            (0.25, 1.0),
+            &batch,
+        )
+        .unwrap();
+        let with_scheme = acceptance_ratio_lo_bounded(
+            &[0.6, 0.95],
+            Some(&WcetPolicy::ChebyshevUniform { n: 3.0 }),
+            SchedulingApproach::BaruahDropAll,
+            (0.25, 1.0),
+            &batch,
+        )
+        .unwrap();
+        // Low bound: everything passes either way.
+        assert_eq!(baseline[0].ratio, 1.0);
+        assert_eq!(with_scheme[0].ratio, 1.0);
+        // High bound: the scheme strictly improves acceptance.
+        assert!(
+            with_scheme[1].ratio > baseline[1].ratio,
+            "scheme {} vs baseline {}",
+            with_scheme[1].ratio,
+            baseline[1].ratio
+        );
+    }
+
+    #[test]
+    fn liu_approach_validates_fraction() {
+        let r = acceptance_ratio(
+            &[0.5],
+            &WcetPolicy::Acet,
+            SchedulingApproach::LiuDegrade { fraction: 1.5 },
+            &small_batch(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn batches_are_reproducible() {
+        let batch = small_batch();
+        let policy = WcetPolicy::LambdaRange {
+            lambda_min: 0.125,
+            seed: 0,
+        };
+        let a = acceptance_ratio(&[0.7], &policy, SchedulingApproach::BaruahDropAll, &batch)
+            .unwrap();
+        let b = acceptance_ratio(&[0.7], &policy, SchedulingApproach::BaruahDropAll, &batch)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let batch = small_batch();
+        assert!(evaluate_policy_over_utilization(&[], &WcetPolicy::Acet, &batch).is_err());
+        assert!(acceptance_ratio(
+            &[],
+            &WcetPolicy::Acet,
+            SchedulingApproach::BaruahDropAll,
+            &batch
+        )
+        .is_err());
+        let bad_batch = BatchConfig {
+            task_sets: 0,
+            ..batch
+        };
+        assert!(
+            evaluate_policy_over_utilization(&[0.5], &WcetPolicy::Acet, &bad_batch).is_err()
+        );
+    }
+}

@@ -1,0 +1,379 @@
+//! Optimistic-WCET assignment policies.
+//!
+//! A [`WcetPolicy`] decides each HC task's `C_LO`. The paper's contribution
+//! is the Chebyshev family (uniform `n` or GA-optimised per-task `nᵢ`); the
+//! baselines are the λ-fraction family used by the state of the art it
+//! compares against (`C_LO = λ · WCET_pes`, with λ either fixed — Gu, Guo,
+//! Liu — or drawn per task from `[λ_min, 1]` — Baruah's experimental setup).
+
+use crate::CoreError;
+use mc_opt::{GaConfig, ProblemConfig, WcetProblem};
+use mc_task::time::Duration;
+use mc_task::TaskSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A policy for choosing optimistic WCETs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WcetPolicy {
+    /// `C_LO = ACET` (`n = 0`): the motivational strawman that switches
+    /// mode on roughly half of all jobs.
+    Acet,
+    /// `C_LO = ACET + n·σ` with one shared factor (the paper's Fig. 2/3
+    /// setting).
+    ChebyshevUniform {
+        /// The shared Chebyshev factor.
+        n: f64,
+    },
+    /// Per-task factors solved by the genetic algorithm (the paper's full
+    /// scheme).
+    ChebyshevGa {
+        /// GA hyper-parameters.
+        ga: GaConfig,
+        /// Search-space configuration.
+        problem: ProblemConfig,
+    },
+    /// `C_LO = λ · WCET_pes` with one shared fraction.
+    LambdaFraction {
+        /// The shared fraction λ ∈ (0, 1].
+        lambda: f64,
+    },
+    /// `C_LO = λᵢ · WCET_pes` with per-task λᵢ drawn uniformly from
+    /// `[lambda_min, 1]` — Baruah's experimental setup (`λ ∈ [1/4, 1]`,
+    /// `[1/8, 1]`, …). Deterministic per seed.
+    LambdaRange {
+        /// Lower end of the fraction range, in (0, 1].
+        lambda_min: f64,
+        /// Draw seed.
+        seed: u64,
+    },
+}
+
+impl WcetPolicy {
+    /// A short, stable name for tables and reports.
+    pub fn name(&self) -> String {
+        match self {
+            WcetPolicy::Acet => "acet".into(),
+            WcetPolicy::ChebyshevUniform { n } => format!("chebyshev-n{n}"),
+            WcetPolicy::ChebyshevGa { .. } => "chebyshev-ga".into(),
+            WcetPolicy::LambdaFraction { lambda } => format!("lambda-{lambda:.4}"),
+            WcetPolicy::LambdaRange { lambda_min, .. } => {
+                format!("lambda-range-[{lambda_min:.4},1]")
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        let err = |reason| Err(CoreError::InvalidPolicy { reason });
+        match self {
+            WcetPolicy::Acet | WcetPolicy::ChebyshevGa { .. } => Ok(()),
+            WcetPolicy::ChebyshevUniform { n } => {
+                if !n.is_finite() || *n < 0.0 {
+                    return err("chebyshev factor must be finite and non-negative");
+                }
+                Ok(())
+            }
+            WcetPolicy::LambdaFraction { lambda } => {
+                if !lambda.is_finite() || *lambda <= 0.0 || *lambda > 1.0 {
+                    return err("lambda must be in (0, 1]");
+                }
+                Ok(())
+            }
+            WcetPolicy::LambdaRange { lambda_min, .. } => {
+                if !lambda_min.is_finite() || *lambda_min <= 0.0 || *lambda_min > 1.0 {
+                    return err("lambda_min must be in (0, 1]");
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Assigns every HC task's `C_LO` in place.
+    ///
+    /// All Chebyshev budgets are clamped into `[ACET, WCET_pes]` (Eq. 9);
+    /// λ budgets are clamped into `[1 ns, WCET_pes]`. Rounding is upward
+    /// (conservative).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPolicy`] for out-of-range parameters,
+    /// [`CoreError::MissingProfile`] when a Chebyshev policy meets an HC
+    /// task without a profile, and propagates optimiser errors for
+    /// [`WcetPolicy::ChebyshevGa`].
+    pub fn assign(&self, ts: &mut TaskSet) -> Result<(), CoreError> {
+        self.validate()?;
+        match self {
+            WcetPolicy::Acet => assign_chebyshev_uniform(ts, 0.0),
+            WcetPolicy::ChebyshevUniform { n } => assign_chebyshev_uniform(ts, *n),
+            WcetPolicy::ChebyshevGa { ga, problem } => {
+                let p = WcetProblem::from_taskset(ts, *problem).map_err(CoreError::Opt)?;
+                let sol = p.solve_ga(ga).map_err(CoreError::Opt)?;
+                p.apply(ts, &sol.factors).map_err(CoreError::Opt)
+            }
+            WcetPolicy::LambdaFraction { lambda } => {
+                let ids: Vec<_> = ts.hc_tasks().map(|t| t.id()).collect();
+                for id in ids {
+                    let task = ts.get_mut(id).expect("id from iteration");
+                    let c_lo = lambda_budget(task.c_hi(), *lambda);
+                    task.set_c_lo(c_lo).map_err(CoreError::Task)?;
+                }
+                Ok(())
+            }
+            WcetPolicy::LambdaRange { lambda_min, seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let ids: Vec<_> = ts.hc_tasks().map(|t| t.id()).collect();
+                for id in ids {
+                    let lambda = if *lambda_min >= 1.0 {
+                        1.0
+                    } else {
+                        rng.random_range(*lambda_min..=1.0)
+                    };
+                    let task = ts.get_mut(id).expect("id from iteration");
+                    let c_lo = lambda_budget(task.c_hi(), lambda);
+                    task.set_c_lo(c_lo).map_err(CoreError::Task)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn assign_chebyshev_uniform(ts: &mut TaskSet, n: f64) -> Result<(), CoreError> {
+    let ids: Vec<_> = ts.hc_tasks().map(|t| t.id()).collect();
+    for id in ids {
+        let task = ts.get_mut(id).expect("id from iteration");
+        let profile = *task
+            .profile()
+            .ok_or(CoreError::MissingProfile { id })?;
+        let level = profile.level(profile.clamp_factor(n));
+        let c_lo = Duration::try_from_nanos_f64_ceil(level)
+            .unwrap_or(task.c_hi())
+            .clamp(Duration::from_nanos(1), task.c_hi());
+        task.set_c_lo(c_lo).map_err(CoreError::Task)?;
+    }
+    Ok(())
+}
+
+fn lambda_budget(c_hi: Duration, lambda: f64) -> Duration {
+    c_hi.mul_f64(lambda)
+        .clamp(Duration::from_nanos(1), c_hi)
+}
+
+/// The λ values the paper's Fig. 4 compares against (from its refs.
+/// \[1\], \[4\], \[12\]).
+pub fn paper_lambda_baselines() -> Vec<WcetPolicy> {
+    vec![
+        WcetPolicy::LambdaRange {
+            lambda_min: 1.0 / 4.0,
+            seed: 0,
+        },
+        WcetPolicy::LambdaRange {
+            lambda_min: 1.0 / 8.0,
+            seed: 0,
+        },
+        WcetPolicy::LambdaRange {
+            lambda_min: 1.0 / 32.0,
+            seed: 0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::design_metrics;
+    use mc_task::{Criticality, ExecutionProfile, McTask, TaskId};
+
+    fn sample_set() -> TaskSet {
+        let mk = |id: u32, acet_ms: f64, sigma_ms: f64, c_hi_ms: u64, p_ms: u64| {
+            McTask::builder(TaskId::new(id))
+                .criticality(Criticality::Hi)
+                .period(Duration::from_millis(p_ms))
+                .c_lo(Duration::from_millis(c_hi_ms))
+                .c_hi(Duration::from_millis(c_hi_ms))
+                .profile(
+                    ExecutionProfile::new(acet_ms * 1e6, sigma_ms * 1e6, c_hi_ms as f64 * 1e6)
+                        .unwrap(),
+                )
+                .build()
+                .unwrap()
+        };
+        TaskSet::from_tasks(vec![
+            mk(0, 3.0, 1.0, 40, 100),
+            mk(1, 5.0, 0.5, 30, 200),
+            McTask::builder(TaskId::new(2))
+                .period(Duration::from_millis(100))
+                .c_lo(Duration::from_millis(10))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn acet_policy_sets_budget_to_acet() {
+        let mut ts = sample_set();
+        WcetPolicy::Acet.assign(&mut ts).unwrap();
+        assert_eq!(
+            ts.get(TaskId::new(0)).unwrap().c_lo(),
+            Duration::from_millis(3)
+        );
+        assert_eq!(
+            ts.get(TaskId::new(1)).unwrap().c_lo(),
+            Duration::from_millis(5)
+        );
+        let m = design_metrics(&ts).unwrap();
+        assert_eq!(m.p_ms, 1.0, "n = 0 bound is vacuous");
+    }
+
+    #[test]
+    fn chebyshev_uniform_sets_acet_plus_n_sigma() {
+        let mut ts = sample_set();
+        WcetPolicy::ChebyshevUniform { n: 3.0 }
+            .assign(&mut ts)
+            .unwrap();
+        assert_eq!(
+            ts.get(TaskId::new(0)).unwrap().c_lo(),
+            Duration::from_millis(6) // 3 + 3·1
+        );
+        assert_eq!(
+            ts.get(TaskId::new(1)).unwrap().c_lo(),
+            Duration::from_micros(6_500) // 5 + 3·0.5
+        );
+        let m = design_metrics(&ts).unwrap();
+        // Two tasks at n = 3: P_MS = 1 − 0.9² = 0.19.
+        assert!((m.p_ms - 0.19).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chebyshev_uniform_clamps_at_wcet_pes() {
+        let mut ts = sample_set();
+        WcetPolicy::ChebyshevUniform { n: 1e6 }
+            .assign(&mut ts)
+            .unwrap();
+        for t in ts.hc_tasks() {
+            assert_eq!(t.c_lo(), t.c_hi());
+        }
+    }
+
+    #[test]
+    fn lambda_fraction_scales_c_hi() {
+        let mut ts = sample_set();
+        WcetPolicy::LambdaFraction { lambda: 0.25 }
+            .assign(&mut ts)
+            .unwrap();
+        assert_eq!(
+            ts.get(TaskId::new(0)).unwrap().c_lo(),
+            Duration::from_millis(10)
+        );
+        assert_eq!(
+            ts.get(TaskId::new(1)).unwrap().c_lo(),
+            Duration::from_micros(7_500)
+        );
+    }
+
+    #[test]
+    fn lambda_range_draws_within_range_and_is_deterministic() {
+        let mut a = sample_set();
+        let mut b = sample_set();
+        let policy = WcetPolicy::LambdaRange {
+            lambda_min: 0.25,
+            seed: 7,
+        };
+        policy.assign(&mut a).unwrap();
+        policy.assign(&mut b).unwrap();
+        assert_eq!(a, b);
+        for t in a.hc_tasks() {
+            let lambda = t.c_lo().as_nanos() as f64 / t.c_hi().as_nanos() as f64;
+            assert!((0.25..=1.0 + 1e-9).contains(&lambda), "lambda {lambda}");
+        }
+        let mut c = sample_set();
+        WcetPolicy::LambdaRange {
+            lambda_min: 0.25,
+            seed: 8,
+        }
+        .assign(&mut c)
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ga_policy_produces_schedulable_high_objective_design() {
+        let mut ts = sample_set();
+        WcetPolicy::ChebyshevGa {
+            ga: GaConfig::default(),
+            problem: ProblemConfig::default(),
+        }
+        .assign(&mut ts)
+        .unwrap();
+        let m = design_metrics(&ts).unwrap();
+        assert!(m.schedulable);
+        assert!(m.objective > 0.3, "objective {}", m.objective);
+        assert!(m.p_ms < 0.5, "p_ms {}", m.p_ms);
+    }
+
+    #[test]
+    fn policies_validate_parameters() {
+        let mut ts = sample_set();
+        assert!(WcetPolicy::ChebyshevUniform { n: -1.0 }.assign(&mut ts).is_err());
+        assert!(WcetPolicy::LambdaFraction { lambda: 0.0 }.assign(&mut ts).is_err());
+        assert!(WcetPolicy::LambdaFraction { lambda: 1.5 }.assign(&mut ts).is_err());
+        assert!(WcetPolicy::LambdaRange {
+            lambda_min: 0.0,
+            seed: 0
+        }
+        .assign(&mut ts)
+        .is_err());
+    }
+
+    #[test]
+    fn chebyshev_requires_profiles_but_lambda_does_not() {
+        let bare = McTask::builder(TaskId::new(0))
+            .criticality(Criticality::Hi)
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(40))
+            .c_hi(Duration::from_millis(40))
+            .build()
+            .unwrap();
+        let mut ts = TaskSet::from_tasks(vec![bare]).unwrap();
+        assert!(matches!(
+            WcetPolicy::ChebyshevUniform { n: 1.0 }.assign(&mut ts),
+            Err(CoreError::MissingProfile { .. })
+        ));
+        WcetPolicy::LambdaFraction { lambda: 0.5 }
+            .assign(&mut ts)
+            .unwrap();
+        assert_eq!(
+            ts.get(TaskId::new(0)).unwrap().c_lo(),
+            Duration::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(WcetPolicy::Acet.name(), "acet");
+        assert_eq!(WcetPolicy::ChebyshevUniform { n: 5.0 }.name(), "chebyshev-n5");
+        assert_eq!(
+            WcetPolicy::LambdaFraction { lambda: 0.25 }.name(),
+            "lambda-0.2500"
+        );
+        assert!(WcetPolicy::LambdaRange {
+            lambda_min: 0.125,
+            seed: 0
+        }
+        .name()
+        .contains("0.1250"));
+    }
+
+    #[test]
+    fn paper_baselines_cover_three_ranges() {
+        let baselines = paper_lambda_baselines();
+        assert_eq!(baselines.len(), 3);
+        for b in &baselines {
+            let mut ts = sample_set();
+            b.assign(&mut ts).unwrap();
+        }
+    }
+}

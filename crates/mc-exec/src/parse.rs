@@ -1,0 +1,599 @@
+//! A small textual language for program models.
+//!
+//! Hand-building [`Program`] trees is fine for library code but clumsy for
+//! experiments; this module provides a tiny DSL so benchmark models can be
+//! written as text (and checked in as fixtures):
+//!
+//! ```text
+//! # image kernel
+//! block init 120;
+//! loop rows 4 bound=64 min=64 avg=64 {
+//!     if check 2 p=0.8 {
+//!         block filter 180;
+//!     } else {
+//!         block copy 12;
+//!     }
+//! }
+//! block commit 40;
+//! ```
+//!
+//! * `block NAME COST;` — a basic block costing `COST` cycles;
+//! * `loop NAME HEADER_COST bound=N [min=N] [avg=X] { … }` — a bounded
+//!   loop (`min` defaults to 0, `avg` to `(min+bound)/2`);
+//! * `if NAME COND_COST p=X { … } else { … }` — a two-way branch taken
+//!   with probability `X`;
+//! * `#` starts a comment to end of line.
+//!
+//! [`to_source`] pretty-prints a `Program` back; parse ∘ print is the
+//! identity (tested).
+
+use crate::program::{BasicBlock, Program};
+use crate::ExecError;
+use std::fmt::Write as _;
+
+/// Parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ParseError> for ExecError {
+    fn from(e: ParseError) -> Self {
+        ExecError::Serialization {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Semi,
+    LBrace,
+    RBrace,
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, column);
+        let mut advance = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next().expect("peeked");
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+            c
+        };
+        if c.is_whitespace() {
+            advance(&mut chars);
+            continue;
+        }
+        if c == '#' {
+            while let Some(&c) = chars.peek() {
+                advance(&mut chars);
+                if c == '\n' {
+                    break;
+                }
+            }
+            continue;
+        }
+        let tok = match c {
+            ';' => {
+                advance(&mut chars);
+                Tok::Semi
+            }
+            '{' => {
+                advance(&mut chars);
+                Tok::LBrace
+            }
+            '}' => {
+                advance(&mut chars);
+                Tok::RBrace
+            }
+            '=' => {
+                advance(&mut chars);
+                Tok::Eq
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' || c == '_' {
+                        text.push(advance(&mut chars));
+                    } else {
+                        break;
+                    }
+                }
+                let cleaned = text.replace('_', "");
+                let value = cleaned.parse::<f64>().map_err(|_| ParseError {
+                    line: tl,
+                    column: tc,
+                    message: format!("invalid number `{text}`"),
+                })?;
+                Tok::Number(value)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        text.push(advance(&mut chars));
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Ident(text)
+            }
+            other => {
+                return Err(ParseError {
+                    line: tl,
+                    column: tc,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        };
+        out.push(Spanned {
+            tok,
+            line: tl,
+            column: tc,
+        });
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.toks.get(self.pos)
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        let (line, column) = self
+            .peek()
+            .map(|s| (s.line, s.column))
+            .unwrap_or_else(|| {
+                self.toks
+                    .last()
+                    .map(|s| (s.line, s.column + 1))
+                    .unwrap_or((1, 1))
+            });
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<Spanned, ParseError> {
+        let s = self
+            .peek()
+            .cloned()
+            .ok_or_else(|| self.err_here(format!("expected {what}, found end of input")))?;
+        self.pos += 1;
+        Ok(s)
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
+        let s = self.next(what)?;
+        if s.tok != tok {
+            return Err(ParseError {
+                line: s.line,
+                column: s.column,
+                message: format!("expected {what}, found {:?}", s.tok),
+            });
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        let s = self.next(what)?;
+        match s.tok {
+            Tok::Ident(name) => Ok(name),
+            other => Err(ParseError {
+                line: s.line,
+                column: s.column,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn number(&mut self, what: &str) -> Result<f64, ParseError> {
+        let s = self.next(what)?;
+        match s.tok {
+            Tok::Number(v) => Ok(v),
+            other => Err(ParseError {
+                line: s.line,
+                column: s.column,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn cost(&mut self, what: &str) -> Result<u64, ParseError> {
+        let v = self.number(what)?;
+        if v < 0.0 || v.fract() != 0.0 || v > u64::MAX as f64 {
+            return Err(self.err_here(format!("{what} must be a non-negative integer")));
+        }
+        Ok(v as u64)
+    }
+
+    /// `key=NUMBER`, where the key ident was already consumed.
+    fn keyed_number(&mut self, key: &str) -> Result<f64, ParseError> {
+        self.expect(Tok::Eq, &format!("`=` after `{key}`"))?;
+        self.number(&format!("value for `{key}`"))
+    }
+
+    fn sequence(&mut self, stop_at_rbrace: bool) -> Result<Vec<Program>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek().map(|s| s.tok.clone()) {
+                None => {
+                    if stop_at_rbrace {
+                        return Err(self.err_here("expected `}`"));
+                    }
+                    return Ok(items);
+                }
+                Some(Tok::RBrace) if stop_at_rbrace => return Ok(items),
+                Some(Tok::Ident(word)) => match word.as_str() {
+                    "block" => {
+                        self.pos += 1;
+                        let name = self.ident("block name")?;
+                        let cost = self.cost("block cost")?;
+                        self.expect(Tok::Semi, "`;` after block")?;
+                        items.push(Program::Block(BasicBlock::new(name, cost)));
+                    }
+                    "loop" => {
+                        self.pos += 1;
+                        let name = self.ident("loop name")?;
+                        let header_cost = self.cost("loop header cost")?;
+                        let mut bound: Option<u64> = None;
+                        let mut min: Option<u64> = None;
+                        let mut avg: Option<f64> = None;
+                        while let Some(Tok::Ident(key)) = self.peek().map(|s| s.tok.clone()) {
+                            match key.as_str() {
+                                "bound" => {
+                                    self.pos += 1;
+                                    let v = self.keyed_number("bound")?;
+                                    bound = Some(v as u64);
+                                }
+                                "min" => {
+                                    self.pos += 1;
+                                    let v = self.keyed_number("min")?;
+                                    min = Some(v as u64);
+                                }
+                                "avg" => {
+                                    self.pos += 1;
+                                    avg = Some(self.keyed_number("avg")?);
+                                }
+                                _ => break,
+                            }
+                        }
+                        let bound =
+                            bound.ok_or_else(|| self.err_here("loop requires `bound=N`"))?;
+                        let min = min.unwrap_or(0);
+                        let avg = avg.unwrap_or((min + bound) as f64 / 2.0);
+                        self.expect(Tok::LBrace, "`{` opening the loop body")?;
+                        let body = self.sequence(true)?;
+                        self.expect(Tok::RBrace, "`}` closing the loop body")?;
+                        items.push(Program::variable_loop(
+                            BasicBlock::new(name, header_cost),
+                            bound,
+                            min,
+                            avg,
+                            Program::Seq(body),
+                        ));
+                    }
+                    "if" => {
+                        self.pos += 1;
+                        let name = self.ident("branch name")?;
+                        let cond_cost = self.cost("branch condition cost")?;
+                        let p_key = self.ident("`p=PROB`")?;
+                        if p_key != "p" {
+                            return Err(self.err_here("expected `p=PROB` after branch cost"));
+                        }
+                        let p = self.keyed_number("p")?;
+                        self.expect(Tok::LBrace, "`{` opening the then-arm")?;
+                        let then_branch = self.sequence(true)?;
+                        self.expect(Tok::RBrace, "`}` closing the then-arm")?;
+                        let else_kw = self.ident("`else`")?;
+                        if else_kw != "else" {
+                            return Err(self.err_here("expected `else`"));
+                        }
+                        self.expect(Tok::LBrace, "`{` opening the else-arm")?;
+                        let else_branch = self.sequence(true)?;
+                        self.expect(Tok::RBrace, "`}` closing the else-arm")?;
+                        items.push(Program::branch(
+                            BasicBlock::new(name, cond_cost),
+                            Program::Seq(then_branch),
+                            Program::Seq(else_branch),
+                            p,
+                        ));
+                    }
+                    other => {
+                        return Err(self.err_here(format!(
+                            "expected `block`, `loop` or `if`, found `{other}`"
+                        )))
+                    }
+                },
+                Some(other) => {
+                    return Err(self.err_here(format!(
+                        "expected a statement, found {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Parses DSL source into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column on syntax errors; semantic
+/// violations (probabilities out of range, `min > bound`) surface through
+/// [`Program::validate`] as [`ExecError::InvalidProgram`].
+///
+/// # Example
+///
+/// ```
+/// use mc_exec::parse::parse_program;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = parse_program("block a 3; loop l 1 bound=4 { block b 2; }")?;
+/// assert_eq!(p.wcet(), 3 + 5 * 1 + 4 * 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ExecError> {
+    let toks = tokenize(src)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let items = parser.sequence(false)?;
+    let program = Program::Seq(items);
+    program.validate()?;
+    Ok(program)
+}
+
+/// Pretty-prints a [`Program`] in the DSL syntax; `parse_program` of the
+/// result reproduces the tree (modulo `Seq` nesting, which is flattened).
+pub fn to_source(program: &Program) -> String {
+    let mut out = String::new();
+    emit(program, 0, &mut out);
+    out
+}
+
+fn emit(program: &Program, indent: usize, out: &mut String) {
+    let pad = "    ".repeat(indent);
+    match program {
+        Program::Block(b) => {
+            let _ = writeln!(out, "{pad}block {} {};", b.name, b.cost);
+        }
+        Program::Seq(parts) => {
+            for p in parts {
+                emit(p, indent, out);
+            }
+        }
+        Program::Branch {
+            cond,
+            then_branch,
+            else_branch,
+            taken_probability,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}if {} {} p={} {{",
+                cond.name, cond.cost, taken_probability
+            );
+            emit(then_branch, indent + 1, out);
+            let _ = writeln!(out, "{pad}}} else {{");
+            emit(else_branch, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Program::Loop {
+            header,
+            bound,
+            min_iterations,
+            avg_iterations,
+            body,
+        } => {
+            let _ = writeln!(
+                out,
+                "{pad}loop {} {} bound={} min={} avg={} {{",
+                header.name, header.cost, bound, min_iterations, avg_iterations
+            );
+            emit(body, indent + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcet::analyze;
+
+    #[test]
+    fn parses_single_block() {
+        let p = parse_program("block setup 42;").unwrap();
+        assert_eq!(p.wcet(), 42);
+    }
+
+    #[test]
+    fn parses_loop_with_defaults() {
+        let p = parse_program("loop l 2 bound=10 { block b 7; }").unwrap();
+        assert_eq!(p.wcet(), 11 * 2 + 10 * 7);
+        assert_eq!(p.bcet(), 2); // min defaults to 0
+        assert!((p.acet_estimate() - (6.0 * 2.0 + 5.0 * 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_branch() {
+        let p = parse_program(
+            "if cond 1 p=0.25 { block t 10; } else { block e 4; }",
+        )
+        .unwrap();
+        assert_eq!(p.wcet(), 11);
+        assert_eq!(p.bcet(), 5);
+        assert!((p.acet_estimate() - (1.0 + 0.25 * 10.0 + 0.75 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_nested_structure_with_comments() {
+        let src = "
+            # image kernel
+            block init 120;
+            loop rows 4 bound=64 min=64 avg=64 {
+                if check 2 p=0.8 {
+                    block filter 180; # expensive path
+                } else {
+                    block copy 12;
+                }
+            }
+            block commit 40;
+        ";
+        let p = parse_program(src).unwrap();
+        // Matches the hand-built program in examples/wcet_analysis.rs.
+        assert_eq!(p.wcet(), 120 + 65 * 4 + 64 * (2 + 180) + 40);
+        // The full analyser accepts it (tree and CFG agree).
+        assert!(analyze(&p).is_ok());
+    }
+
+    #[test]
+    fn underscores_in_numbers_are_allowed() {
+        let p = parse_program("block big 1_000_000;").unwrap();
+        assert_eq!(p.wcet(), 1_000_000);
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let err = parse_program("block a 1;\nblock b ;").unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("2:"), "position missing: {text}");
+
+        let err = parse_program("loop l 1 { block b 2; }").unwrap_err();
+        assert!(err.to_string().contains("bound"), "{err}");
+
+        let err = parse_program("if c 1 p=0.5 { block t 1; }").unwrap_err();
+        assert!(err.to_string().contains("else"), "{err}");
+
+        let err = parse_program("widget w 3;").unwrap_err();
+        assert!(err.to_string().contains("block"), "{err}");
+
+        let err = parse_program("block a 1; }").unwrap_err();
+        assert!(err.to_string().contains("statement"), "{err}");
+
+        let err = parse_program("block a 1.5;").unwrap_err();
+        assert!(err.to_string().contains("integer"), "{err}");
+
+        let err = parse_program("block a @;").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"), "{err}");
+    }
+
+    #[test]
+    fn semantic_errors_come_from_validate() {
+        let err = parse_program("if c 1 p=1.5 { block t 1; } else { block e 1; }").unwrap_err();
+        assert!(matches!(err, ExecError::InvalidProgram { .. }));
+
+        let err =
+            parse_program("loop l 1 bound=3 min=5 { block b 1; }").unwrap_err();
+        assert!(matches!(err, ExecError::InvalidProgram { .. }));
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let src = "
+            block init 5;
+            loop outer 2 bound=10 min=1 avg=4 {
+                if c 1 p=0.5 {
+                    loop inner 1 bound=3 min=3 avg=3 { block ib 4; }
+                } else {
+                    block fast 2;
+                }
+                block tail 1;
+            }
+        ";
+        let p1 = parse_program(src).unwrap();
+        let printed = to_source(&p1);
+        let p2 = parse_program(&printed).unwrap();
+        // Round trip preserves all three analyses.
+        assert_eq!(p1.wcet(), p2.wcet());
+        assert_eq!(p1.bcet(), p2.bcet());
+        assert!((p1.acet_estimate() - p2.acet_estimate()).abs() < 1e-9);
+        // And printing again is a fixpoint.
+        assert_eq!(printed, to_source(&p2));
+    }
+
+    #[test]
+    fn empty_source_is_an_empty_program() {
+        let p = parse_program("  # nothing but a comment\n").unwrap();
+        assert_eq!(p.wcet(), 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_program() -> impl Strategy<Value = Program> {
+            let leaf = (0u64..100).prop_map(|c| Program::block("b", c));
+            leaf.prop_recursive(3, 16, 3, |inner| {
+                prop_oneof![
+                    proptest::collection::vec(inner.clone(), 1..3).prop_map(Program::seq),
+                    (inner.clone(), inner.clone(), 0u64..20).prop_map(|(t, e, c)| {
+                        Program::branch(BasicBlock::new("c", c), t, e, 0.5)
+                    }),
+                    (inner, 0u64..8, 0u64..20).prop_map(|(b, bound, c)| {
+                        Program::variable_loop(
+                            BasicBlock::new("h", c),
+                            bound,
+                            0,
+                            bound as f64 / 2.0,
+                            b,
+                        )
+                    }),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn print_then_parse_preserves_analyses(p in arb_program()) {
+                let src = to_source(&p);
+                let back = parse_program(&src).unwrap();
+                prop_assert_eq!(back.wcet(), p.wcet());
+                prop_assert_eq!(back.bcet(), p.bcet());
+                prop_assert!((back.acet_estimate() - p.acet_estimate()).abs() < 1e-9);
+            }
+        }
+    }
+}

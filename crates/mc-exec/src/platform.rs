@@ -1,0 +1,245 @@
+//! Processor platform model: cycle ↔ time conversion.
+//!
+//! Benchmark statistics are measured in cycles; the task model and the
+//! simulator work in nanoseconds. A [`Platform`] fixes the clock frequency
+//! that relates the two. The workspace default is 1 GHz, where one cycle is
+//! exactly one nanosecond — the convention all built-in benchmarks assume —
+//! but any frequency can be modelled.
+
+use crate::benchmarks::Benchmark;
+use crate::ExecError;
+use mc_task::time::Duration;
+use mc_task::{Criticality, ExecutionProfile, McTask, TaskId};
+use serde::{Deserialize, Serialize};
+
+/// A single-core platform with a fixed clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    frequency_hz: f64,
+}
+
+impl Default for Platform {
+    /// The workspace convention: 1 GHz (1 cycle = 1 ns).
+    fn default() -> Self {
+        Platform {
+            frequency_hz: 1.0e9,
+        }
+    }
+}
+
+impl Platform {
+    /// Creates a platform clocked at `frequency_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidModel`] unless the frequency is finite
+    /// and strictly positive.
+    pub fn new(frequency_hz: f64) -> Result<Self, ExecError> {
+        if !frequency_hz.is_finite() || frequency_hz <= 0.0 {
+            return Err(ExecError::InvalidModel {
+                reason: "platform frequency must be finite and positive",
+            });
+        }
+        Ok(Platform { frequency_hz })
+    }
+
+    /// The clock frequency in hertz.
+    pub fn frequency_hz(&self) -> f64 {
+        self.frequency_hz
+    }
+
+    /// Converts a cycle count to wall-clock time, rounding *up* to whole
+    /// nanoseconds (the conservative direction for budgets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidModel`] for negative, non-finite, or
+    /// unrepresentably large cycle counts.
+    pub fn duration_of_cycles(&self, cycles: f64) -> Result<Duration, ExecError> {
+        let ns = cycles / self.frequency_hz * 1e9;
+        Duration::try_from_nanos_f64_ceil(ns).ok_or(ExecError::InvalidModel {
+            reason: "cycle count does not convert to a representable duration",
+        })
+    }
+
+    /// Converts a duration back to (fractional) cycles.
+    pub fn cycles_of(&self, d: Duration) -> f64 {
+        d.as_nanos() as f64 / 1e9 * self.frequency_hz
+    }
+}
+
+impl Benchmark {
+    /// Converts this benchmark into a mixed-criticality task on `platform`:
+    /// the published pessimistic WCET becomes `C_HI`, the published
+    /// `(ACET, σ)` become the task's execution profile (both expressed in
+    /// nanoseconds at the platform's frequency), and `C_LO` starts
+    /// pessimistically at `C_HI` for a WCET-assignment policy to lower.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidModel`] when the converted WCET does not
+    /// fit in the period, plus any conversion error.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mc_exec::benchmarks;
+    /// use mc_exec::platform::Platform;
+    /// use mc_task::time::Duration;
+    /// use mc_task::{Criticality, TaskId};
+    ///
+    /// # fn main() -> Result<(), mc_exec::ExecError> {
+    /// let task = benchmarks::qsort(100)?.to_mc_task(
+    ///     TaskId::new(0),
+    ///     Criticality::Hi,
+    ///     Duration::from_millis(10),
+    ///     &Platform::default(),
+    /// )?;
+    /// assert_eq!(task.c_hi(), Duration::from_micros(410)); // 410 000 cycles @ 1 GHz
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_mc_task(
+        &self,
+        id: TaskId,
+        criticality: Criticality,
+        period: Duration,
+        platform: &Platform,
+    ) -> Result<McTask, ExecError> {
+        let spec = self.spec();
+        let c_hi = platform.duration_of_cycles(spec.wcet_pes)?;
+        if c_hi > period {
+            return Err(ExecError::InvalidModel {
+                reason: "benchmark WCET exceeds the requested period",
+            });
+        }
+        let scale = 1e9 / platform.frequency_hz();
+        let mut builder = McTask::builder(id)
+            .name(self.name().to_string())
+            .criticality(criticality)
+            .period(period)
+            .c_lo(c_hi);
+        if criticality.is_high() {
+            let profile = ExecutionProfile::new(
+                spec.acet * scale,
+                spec.sigma * scale,
+                c_hi.as_nanos() as f64,
+            )
+            .map_err(|_| ExecError::InvalidModel {
+                reason: "benchmark statistics do not form a valid profile",
+            })?;
+            builder = builder.c_hi(c_hi).profile(profile);
+        }
+        builder.build().map_err(|_| ExecError::InvalidModel {
+            reason: "benchmark does not fit the task-model invariants",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn default_is_one_gigahertz() {
+        let p = Platform::default();
+        assert_eq!(p.frequency_hz(), 1.0e9);
+        assert_eq!(
+            p.duration_of_cycles(1_000.0).unwrap(),
+            Duration::from_micros(1)
+        );
+    }
+
+    #[test]
+    fn construction_validates_frequency() {
+        assert!(Platform::new(0.0).is_err());
+        assert!(Platform::new(-1.0e9).is_err());
+        assert!(Platform::new(f64::NAN).is_err());
+        assert!(Platform::new(2.4e9).is_ok());
+    }
+
+    #[test]
+    fn conversion_rounds_up_and_round_trips() {
+        let p = Platform::new(3.0e9).unwrap(); // 3 GHz: 1 cycle = 1/3 ns
+        let d = p.duration_of_cycles(1.0).unwrap();
+        assert_eq!(d, Duration::from_nanos(1)); // ceil(0.333)
+        let d = p.duration_of_cycles(3_000_000.0).unwrap();
+        assert_eq!(d, Duration::from_millis(1));
+        assert!((p.cycles_of(d) - 3_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn conversion_rejects_bad_cycles() {
+        let p = Platform::default();
+        assert!(p.duration_of_cycles(-1.0).is_err());
+        assert!(p.duration_of_cycles(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn benchmark_converts_to_hc_task_with_profile() {
+        let b = benchmarks::corner().unwrap();
+        let task = b
+            .to_mc_task(
+                TaskId::new(3),
+                Criticality::Hi,
+                Duration::from_millis(25),
+                &Platform::default(),
+            )
+            .unwrap();
+        assert_eq!(task.name(), "corner");
+        assert!(task.is_high());
+        assert_eq!(task.c_hi(), Duration::from_nanos(9_400_000));
+        assert_eq!(task.c_lo(), task.c_hi(), "C_LO starts pessimistic");
+        let profile = task.profile().unwrap();
+        assert!((profile.acet() - 5.6e5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn benchmark_converts_to_lc_task_without_profile() {
+        let b = benchmarks::qsort(100).unwrap();
+        let task = b
+            .to_mc_task(
+                TaskId::new(0),
+                Criticality::Lo,
+                Duration::from_millis(10),
+                &Platform::default(),
+            )
+            .unwrap();
+        assert!(!task.is_high());
+        assert!(task.profile().is_none());
+        assert_eq!(task.c_lo(), Duration::from_micros(410));
+    }
+
+    #[test]
+    fn frequency_scales_the_budgets() {
+        let b = benchmarks::qsort(100).unwrap(); // 410 000 cycles
+        let fast = Platform::new(2.0e9).unwrap();
+        let task = b
+            .to_mc_task(
+                TaskId::new(0),
+                Criticality::Hi,
+                Duration::from_millis(10),
+                &fast,
+            )
+            .unwrap();
+        // Twice the clock → half the time.
+        assert_eq!(task.c_hi(), Duration::from_micros(205));
+        let profile = task.profile().unwrap();
+        assert!((profile.acet() - 9_000.0).abs() < 1.0); // 18 000 cycles / 2
+    }
+
+    #[test]
+    fn wcet_larger_than_period_is_rejected() {
+        let b = benchmarks::smooth().unwrap(); // 4.9e8 cycles = 490 ms @ 1 GHz
+        let err = b
+            .to_mc_task(
+                TaskId::new(0),
+                Criticality::Hi,
+                Duration::from_millis(100),
+                &Platform::default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ExecError::InvalidModel { .. }));
+    }
+}

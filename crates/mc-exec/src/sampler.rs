@@ -1,0 +1,170 @@
+//! Execution-time sampling.
+//!
+//! An [`ExecutionModel`] stands in for the paper's MEET ARM simulator: it
+//! produces per-job execution times from a calibrated distribution, clamped
+//! into `[1, WCET_pes]` cycles — the pessimistic WCET is, by definition of a
+//! sound static analysis, never exceeded at runtime.
+
+use crate::trace::ExecutionTrace;
+use crate::ExecError;
+use mc_stats::dist::Dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A stochastic execution-time model bounded by a pessimistic WCET.
+///
+/// # Example
+///
+/// ```
+/// use mc_exec::sampler::ExecutionModel;
+/// use mc_stats::dist::Dist;
+///
+/// # fn main() -> Result<(), mc_exec::ExecError> {
+/// let dist = Dist::normal(1_000.0, 100.0).map_err(mc_exec::ExecError::Stats)?;
+/// let model = ExecutionModel::new(dist, 5_000.0)?;
+/// let trace = model.sample_trace("demo", 1_000, 42)?;
+/// assert_eq!(trace.len(), 1_000);
+/// assert!(trace.samples().iter().all(|&x| x >= 1.0 && x <= 5_000.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionModel {
+    dist: Dist,
+    wcet_pes: f64,
+}
+
+impl ExecutionModel {
+    /// Creates a model from a sampling distribution and a pessimistic WCET
+    /// (in cycles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidModel`] when `wcet_pes` is non-finite or
+    /// below one cycle, or when the distribution's analytic mean (if known)
+    /// exceeds `wcet_pes` — such a model would clamp essentially every
+    /// sample.
+    pub fn new(dist: Dist, wcet_pes: f64) -> Result<Self, ExecError> {
+        if !wcet_pes.is_finite() || wcet_pes < 1.0 {
+            return Err(ExecError::InvalidModel {
+                reason: "wcet_pes must be finite and at least one cycle",
+            });
+        }
+        if let Some(mean) = dist.mean() {
+            if mean > wcet_pes {
+                return Err(ExecError::InvalidModel {
+                    reason: "distribution mean exceeds wcet_pes",
+                });
+            }
+        }
+        Ok(ExecutionModel { dist, wcet_pes })
+    }
+
+    /// The underlying distribution.
+    pub fn dist(&self) -> &Dist {
+        &self.dist
+    }
+
+    /// The pessimistic WCET bound in cycles.
+    pub fn wcet_pes(&self) -> f64 {
+        self.wcet_pes
+    }
+
+    /// Draws one execution time, clamped into `[1, WCET_pes]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.dist.sample(rng).clamp(1.0, self.wcet_pes)
+    }
+
+    /// Draws a full trace of `count` jobs with a dedicated seeded generator
+    /// — the reproducible analogue of "we executed 20 000 instances".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidModel`] when `count` is zero.
+    pub fn sample_trace(
+        &self,
+        name: impl Into<String>,
+        count: usize,
+        seed: u64,
+    ) -> Result<ExecutionTrace, ExecError> {
+        if count == 0 {
+            return Err(ExecError::InvalidModel {
+                reason: "a trace needs at least one sample",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut trace = ExecutionTrace::new(name);
+        for _ in 0..count {
+            trace.push(self.sample(&mut rng))?;
+        }
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn normal_model() -> ExecutionModel {
+        ExecutionModel::new(Dist::normal(1_000.0, 100.0).unwrap(), 5_000.0).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_bounds() {
+        let d = Dist::normal(100.0, 10.0).unwrap();
+        assert!(ExecutionModel::new(d.clone(), 0.5).is_err());
+        assert!(ExecutionModel::new(d.clone(), f64::NAN).is_err());
+        assert!(ExecutionModel::new(d.clone(), 50.0).is_err()); // mean 100 > 50
+        assert!(ExecutionModel::new(d, 150.0).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let m = ExecutionModel::new(Dist::normal(10.0, 50.0).unwrap(), 40.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = m.sample(&mut rng);
+            assert!((1.0..=40.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn trace_is_reproducible_per_seed() {
+        let m = normal_model();
+        let a = m.sample_trace("a", 100, 7).unwrap();
+        let b = m.sample_trace("a", 100, 7).unwrap();
+        assert_eq!(a, b);
+        let c = m.sample_trace("a", 100, 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_statistics_approach_model_moments() {
+        let m = normal_model();
+        let t = m.sample_trace("t", 100_000, 3).unwrap();
+        let s = t.summary().unwrap();
+        assert!((s.mean() - 1_000.0).abs() < 2.0);
+        assert!((s.std_dev() - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_count_is_rejected() {
+        assert!(normal_model().sample_trace("t", 0, 1).is_err());
+    }
+
+    #[test]
+    fn accessors_expose_parts() {
+        let m = normal_model();
+        assert_eq!(m.wcet_pes(), 5_000.0);
+        assert_eq!(m.dist().mean(), Some(1_000.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = normal_model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ExecutionModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,218 @@
+//! Execution traces.
+//!
+//! An [`ExecutionTrace`] is the synthetic equivalent of the paper's
+//! 20 000-instance MEET simulator runs: a named sequence of per-job
+//! execution times (in cycles ≡ nanoseconds at the workspace's 1 GHz
+//! convention). Traces summarise to `(ACET, σ)` exactly as Eqs. 3–4
+//! prescribe and serialise to JSON for reuse across experiments.
+
+use crate::ExecError;
+use mc_stats::estimate::{exceedance_rate, ExceedanceEstimate};
+use mc_stats::histogram::Histogram;
+use mc_stats::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// A named sequence of measured execution times.
+///
+/// # Example
+///
+/// ```
+/// use mc_exec::trace::ExecutionTrace;
+///
+/// # fn main() -> Result<(), mc_exec::ExecError> {
+/// let trace = ExecutionTrace::from_samples("demo", vec![10.0, 12.0, 11.0, 30.0])?;
+/// let summary = trace.summary()?;
+/// assert_eq!(summary.count(), 4);
+/// // Overrun rate at a candidate optimistic WCET of 12.5 cycles:
+/// assert_eq!(trace.overrun_rate(12.5)?.exceeding, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    name: String,
+    samples: Vec<f64>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExecutionTrace {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Creates a trace from existing samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidTrace`] when any sample is non-finite or
+    /// non-positive (execution takes time).
+    pub fn from_samples(name: impl Into<String>, samples: Vec<f64>) -> Result<Self, ExecError> {
+        let mut t = ExecutionTrace::new(name);
+        for s in samples {
+            t.push(s)?;
+        }
+        Ok(t)
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidTrace`] when the sample is non-finite or
+    /// non-positive.
+    pub fn push(&mut self, sample: f64) -> Result<(), ExecError> {
+        if !sample.is_finite() || sample <= 0.0 {
+            return Err(ExecError::InvalidTrace {
+                reason: "execution-time samples must be finite and positive",
+            });
+        }
+        self.samples.push(sample);
+        Ok(())
+    }
+
+    /// The trace name (typically the benchmark it came from).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Summarises the trace — `mean()` is the paper's ACET (Eq. 3),
+    /// `std_dev()` its σ (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidTrace`] for an empty trace.
+    pub fn summary(&self) -> Result<Summary, ExecError> {
+        Summary::from_samples(&self.samples).map_err(|_| ExecError::InvalidTrace {
+            reason: "cannot summarise an empty trace",
+        })
+    }
+
+    /// Measured overrun rate at a candidate optimistic WCET `level`
+    /// (the paper's "% of samples that overruns" columns).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Stats`] when `level` is NaN.
+    pub fn overrun_rate(&self, level: f64) -> Result<ExceedanceEstimate, ExecError> {
+        exceedance_rate(&self.samples, level).map_err(ExecError::Stats)
+    }
+
+    /// Builds a histogram over the trace (Fig. 1-style shape inspection).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Stats`] for an empty trace or zero bins.
+    pub fn histogram(&self, bins: usize) -> Result<Histogram, ExecError> {
+        Histogram::from_samples(&self.samples, bins).map_err(ExecError::Stats)
+    }
+
+    /// Serialises the trace to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Serialization`] when encoding fails.
+    pub fn to_json(&self) -> Result<String, ExecError> {
+        serde_json::to_string(self).map_err(|e| ExecError::Serialization {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Parses a trace from JSON produced by [`ExecutionTrace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Serialization`] on malformed input and
+    /// [`ExecError::InvalidTrace`] when the decoded samples violate trace
+    /// invariants.
+    pub fn from_json(json: &str) -> Result<Self, ExecError> {
+        let raw: ExecutionTrace =
+            serde_json::from_str(json).map_err(|e| ExecError::Serialization {
+                detail: e.to_string(),
+            })?;
+        // Re-validate: serde bypasses `push`.
+        ExecutionTrace::from_samples(raw.name, raw.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_samples() {
+        let mut t = ExecutionTrace::new("t");
+        t.push(1.0).unwrap();
+        assert!(t.push(0.0).is_err());
+        assert!(t.push(-1.0).is_err());
+        assert!(t.push(f64::NAN).is_err());
+        assert!(t.push(f64::INFINITY).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn summary_matches_paper_equations() {
+        let t = ExecutionTrace::from_samples("t", vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+            .unwrap();
+        let s = t.summary().unwrap();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std_dev(), 2.0);
+    }
+
+    #[test]
+    fn empty_trace_cannot_be_summarised() {
+        let t = ExecutionTrace::new("t");
+        assert!(t.is_empty());
+        assert!(t.summary().is_err());
+        assert!(t.histogram(4).is_err());
+    }
+
+    #[test]
+    fn overrun_rate_counts_strict_exceedances() {
+        let t = ExecutionTrace::from_samples("t", vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(t.overrun_rate(2.0).unwrap().exceeding, 1);
+        assert_eq!(t.overrun_rate(0.5).unwrap().exceeding, 3);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = ExecutionTrace::from_samples("bench", vec![1.5, 2.5]).unwrap();
+        let json = t.to_json().unwrap();
+        let back = ExecutionTrace::from_json(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_with_invalid_samples_is_rejected() {
+        let json = r#"{"name":"evil","samples":[1.0,-3.0]}"#;
+        assert!(matches!(
+            ExecutionTrace::from_json(json).unwrap_err(),
+            ExecError::InvalidTrace { .. }
+        ));
+        assert!(ExecutionTrace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn histogram_covers_trace() {
+        let t = ExecutionTrace::from_samples("t", vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let h = t.histogram(2).unwrap();
+        assert_eq!(h.total(), 4);
+    }
+}

@@ -1,0 +1,505 @@
+//! A from-scratch genetic algorithm.
+//!
+//! The paper solves its WCET-assignment problem (Eq. 13) with DEAP using
+//! two-point crossover, single-point mutation, and tournament selection
+//! with five participants (§V: `p_c = 0.8`, `p_m = 0.2`). This module
+//! implements exactly that algorithm over bounded real-valued chromosomes,
+//! generic in the fitness function, fully deterministic per seed.
+
+use crate::OptError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Inclusive bounds for one gene.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneBounds {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound (≥ `lo`).
+    pub hi: f64,
+}
+
+impl GeneBounds {
+    /// Creates bounds after validating `lo ≤ hi` and finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::InvalidConfig`] on violation.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, OptError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(OptError::InvalidConfig {
+                reason: "gene bounds must be finite with lo <= hi",
+            });
+        }
+        Ok(GeneBounds { lo, hi })
+    }
+
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.hi > self.lo {
+            rng.random_range(self.lo..=self.hi)
+        } else {
+            self.lo
+        }
+    }
+
+    fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+}
+
+/// GA hyper-parameters. Defaults match the paper's §V setup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population_size: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability that a selected pair undergoes two-point crossover.
+    pub crossover_probability: f64,
+    /// Probability that an offspring undergoes single-point mutation.
+    pub mutation_probability: f64,
+    /// Participants per tournament.
+    pub tournament_size: usize,
+    /// Best individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population_size: 64,
+            generations: 80,
+            crossover_probability: 0.8,
+            mutation_probability: 0.2,
+            tournament_size: 5,
+            elitism: 2,
+            seed: 0,
+        }
+    }
+}
+
+impl GaConfig {
+    fn validate(&self) -> Result<(), OptError> {
+        let err = |reason| Err(OptError::InvalidConfig { reason });
+        if self.population_size < 2 {
+            return err("population_size must be at least 2");
+        }
+        if self.generations == 0 {
+            return err("generations must be non-zero");
+        }
+        for (p, name) in [
+            (self.crossover_probability, "crossover_probability"),
+            (self.mutation_probability, "mutation_probability"),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                let _ = name;
+                return err("probabilities must be in [0, 1]");
+            }
+        }
+        if self.tournament_size == 0 || self.tournament_size > self.population_size {
+            return err("tournament_size must be in [1, population_size]");
+        }
+        if self.elitism >= self.population_size {
+            return err("elitism must be smaller than the population");
+        }
+        Ok(())
+    }
+}
+
+/// Per-generation statistics, for convergence plots and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0-based).
+    pub generation: usize,
+    /// Best fitness in the generation.
+    pub best: f64,
+    /// Mean fitness of the generation.
+    pub mean: f64,
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// The best chromosome found across all generations.
+    pub best: Vec<f64>,
+    /// Its fitness.
+    pub best_fitness: f64,
+    /// Per-generation convergence statistics.
+    pub history: Vec<GenerationStats>,
+}
+
+/// Maximises `fitness` over chromosomes bounded by `bounds`.
+///
+/// Fitness values must be finite; non-finite values are treated as
+/// `f64::NEG_INFINITY` (never selected).
+///
+/// # Errors
+///
+/// Returns [`OptError::InvalidConfig`] for invalid hyper-parameters and
+/// [`OptError::EmptyChromosome`] when `bounds` is empty.
+///
+/// # Example
+///
+/// ```
+/// use mc_opt::ga::{optimize, GaConfig, GeneBounds};
+///
+/// # fn main() -> Result<(), mc_opt::OptError> {
+/// // Maximise -(x-3)² over [0, 10]: optimum at x = 3.
+/// let bounds = [GeneBounds::new(0.0, 10.0)?];
+/// let result = optimize(&bounds, |c| -(c[0] - 3.0).powi(2), &GaConfig::default())?;
+/// assert!((result.best[0] - 3.0).abs() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn optimize<F>(bounds: &[GeneBounds], fitness: F, cfg: &GaConfig) -> Result<GaResult, OptError>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    cfg.validate()?;
+    if bounds.is_empty() {
+        return Err(OptError::EmptyChromosome);
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let genes = bounds.len();
+    let eval = |c: &[f64]| {
+        let f = fitness(c);
+        if f.is_finite() {
+            f
+        } else {
+            f64::NEG_INFINITY
+        }
+    };
+
+    // Initial population: uniformly sampled within bounds.
+    let mut population: Vec<Vec<f64>> = (0..cfg.population_size)
+        .map(|_| bounds.iter().map(|b| b.sample(&mut rng)).collect())
+        .collect();
+    let mut scores: Vec<f64> = population.iter().map(|c| eval(c)).collect();
+
+    let mut best = population[0].clone();
+    let mut best_fitness = scores[0];
+    let mut history = Vec::with_capacity(cfg.generations);
+
+    for generation in 0..cfg.generations {
+        // Track statistics and the all-time best.
+        let mut gen_best = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for (c, &s) in population.iter().zip(&scores) {
+            if s > best_fitness {
+                best_fitness = s;
+                best = c.clone();
+            }
+            gen_best = gen_best.max(s);
+            sum += if s.is_finite() { s } else { 0.0 };
+        }
+        history.push(GenerationStats {
+            generation,
+            best: gen_best,
+            mean: sum / population.len() as f64,
+        });
+
+        // Elitism: carry the top individuals over unchanged.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+        let mut next: Vec<Vec<f64>> = order
+            .iter()
+            .take(cfg.elitism)
+            .map(|&i| population[i].clone())
+            .collect();
+
+        // Fill the rest via tournament selection + variation.
+        while next.len() < cfg.population_size {
+            let a = tournament(&scores, cfg.tournament_size, &mut rng);
+            let b = tournament(&scores, cfg.tournament_size, &mut rng);
+            let (mut child1, mut child2) = (population[a].clone(), population[b].clone());
+            if rng.random::<f64>() < cfg.crossover_probability {
+                two_point_crossover(&mut child1, &mut child2, &mut rng);
+            }
+            for child in [&mut child1, &mut child2] {
+                if rng.random::<f64>() < cfg.mutation_probability {
+                    let g = rng.random_range(0..genes);
+                    child[g] = bounds[g].sample(&mut rng);
+                }
+                for (x, b) in child.iter_mut().zip(bounds) {
+                    *x = b.clamp(*x);
+                }
+            }
+            next.push(child1);
+            if next.len() < cfg.population_size {
+                next.push(child2);
+            }
+        }
+        population = next;
+        scores = population.iter().map(|c| eval(c)).collect();
+    }
+
+    // Final sweep over the last generation.
+    for (c, &s) in population.iter().zip(&scores) {
+        if s > best_fitness {
+            best_fitness = s;
+            best = c.clone();
+        }
+    }
+
+    Ok(GaResult {
+        best,
+        best_fitness,
+        history,
+    })
+}
+
+/// Tournament selection: the fittest of `k` uniformly drawn individuals.
+fn tournament<R: Rng + ?Sized>(scores: &[f64], k: usize, rng: &mut R) -> usize {
+    let mut winner = rng.random_range(0..scores.len());
+    for _ in 1..k {
+        let challenger = rng.random_range(0..scores.len());
+        if scores[challenger] > scores[winner] {
+            winner = challenger;
+        }
+    }
+    winner
+}
+
+/// Two-point crossover: swaps the segment between two cut points.
+/// Degenerates to a full swap for single-gene chromosomes.
+fn two_point_crossover<R: Rng + ?Sized>(a: &mut [f64], b: &mut [f64], rng: &mut R) {
+    let n = a.len();
+    if n == 1 {
+        std::mem::swap(&mut a[0], &mut b[0]);
+        return;
+    }
+    let mut p1 = rng.random_range(0..n);
+    let mut p2 = rng.random_range(0..n);
+    if p1 > p2 {
+        std::mem::swap(&mut p1, &mut p2);
+    }
+    for i in p1..=p2 {
+        std::mem::swap(&mut a[i], &mut b[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let ok = GaConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(GaConfig {
+            population_size: 1,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            generations: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            crossover_probability: 1.1,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            mutation_probability: -0.1,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            tournament_size: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            tournament_size: 100,
+            population_size: 10,
+            ..ok
+        }
+        .validate()
+        .is_err());
+        assert!(GaConfig {
+            elitism: 64,
+            ..ok
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn bounds_validation() {
+        assert!(GeneBounds::new(1.0, 0.0).is_err());
+        assert!(GeneBounds::new(f64::NAN, 1.0).is_err());
+        assert!(GeneBounds::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn empty_chromosome_is_rejected() {
+        let r = optimize(&[], |_| 0.0, &GaConfig::default());
+        assert!(matches!(r.unwrap_err(), OptError::EmptyChromosome));
+    }
+
+    #[test]
+    fn finds_one_dimensional_optimum() {
+        let bounds = [GeneBounds::new(0.0, 10.0).unwrap()];
+        let r = optimize(&bounds, |c| -(c[0] - 7.0).powi(2), &GaConfig::default()).unwrap();
+        assert!((r.best[0] - 7.0).abs() < 0.3, "got {}", r.best[0]);
+    }
+
+    #[test]
+    fn finds_multi_dimensional_optimum() {
+        // Sphere function, optimum at (1, 2, 3, 4).
+        let target = [1.0, 2.0, 3.0, 4.0];
+        let bounds: Vec<GeneBounds> = (0..4)
+            .map(|_| GeneBounds::new(0.0, 5.0).unwrap())
+            .collect();
+        let cfg = GaConfig {
+            generations: 200,
+            population_size: 128,
+            ..GaConfig::default()
+        };
+        let r = optimize(
+            &bounds,
+            |c| {
+                -c.iter()
+                    .zip(&target)
+                    .map(|(x, t)| (x - t).powi(2))
+                    .sum::<f64>()
+            },
+            &cfg,
+        )
+        .unwrap();
+        for (x, t) in r.best.iter().zip(&target) {
+            assert!((x - t).abs() < 0.5, "got {:?}", r.best);
+        }
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let bounds = [
+            GeneBounds::new(2.0, 3.0).unwrap(),
+            GeneBounds::new(-1.0, 0.5).unwrap(),
+        ];
+        let r = optimize(&bounds, |c| c.iter().sum(), &GaConfig::default()).unwrap();
+        assert!((2.0..=3.0).contains(&r.best[0]));
+        assert!((-1.0..=0.5).contains(&r.best[1]));
+        // Maximising the sum drives genes to their upper bounds.
+        assert!(r.best[0] > 2.9);
+        assert!(r.best[1] > 0.4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let bounds = [GeneBounds::new(0.0, 1.0).unwrap(); 3];
+        let cfg = GaConfig::default();
+        let a = optimize(&bounds, |c| c.iter().sum(), &cfg).unwrap();
+        let b = optimize(&bounds, |c| c.iter().sum(), &cfg).unwrap();
+        assert_eq!(a, b);
+        let cfg2 = GaConfig { seed: 1, ..cfg };
+        let c = optimize(&bounds, |x| x.iter().sum(), &cfg2).unwrap();
+        // Different seed explores differently (history differs even if the
+        // optimum coincides).
+        assert_ne!(a.history, c.history);
+    }
+
+    #[test]
+    fn best_fitness_is_monotone_over_generations() {
+        let bounds = [GeneBounds::new(-5.0, 5.0).unwrap(); 2];
+        let r = optimize(
+            &bounds,
+            |c| -(c[0].powi(2) + c[1].powi(2)),
+            &GaConfig::default(),
+        )
+        .unwrap();
+        // With elitism, the running best never regresses.
+        let mut prev = f64::NEG_INFINITY;
+        for g in &r.history {
+            assert!(g.best >= prev - 1e-12, "generation {}", g.generation);
+            prev = g.best;
+        }
+    }
+
+    #[test]
+    fn non_finite_fitness_is_never_selected_as_best() {
+        let bounds = [GeneBounds::new(0.0, 1.0).unwrap()];
+        // NaN on the left half, increasing on the right half.
+        let r = optimize(
+            &bounds,
+            |c| {
+                if c[0] < 0.5 {
+                    f64::NAN
+                } else {
+                    c[0]
+                }
+            },
+            &GaConfig::default(),
+        )
+        .unwrap();
+        assert!(r.best[0] >= 0.5);
+        assert!(r.best_fitness.is_finite());
+    }
+
+    #[test]
+    fn single_gene_crossover_swaps() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut a = [1.0];
+        let mut b = [2.0];
+        two_point_crossover(&mut a, &mut b, &mut rng);
+        assert_eq!(a[0], 2.0);
+        assert_eq!(b[0], 1.0);
+    }
+
+    #[test]
+    fn crossover_preserves_multiset_of_genes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mut a = [1.0, 2.0, 3.0, 4.0, 5.0];
+            let mut b = [10.0, 20.0, 30.0, 40.0, 50.0];
+            two_point_crossover(&mut a, &mut b, &mut rng);
+            for i in 0..5 {
+                let pair = (a[i].min(b[i]), a[i].max(b[i]));
+                assert_eq!(pair, ((i + 1) as f64, ((i + 1) * 10) as f64));
+            }
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            #[test]
+            fn result_respects_bounds(seed in 0u64..1_000, genes in 1usize..6) {
+                let bounds: Vec<GeneBounds> = (0..genes)
+                    .map(|i| GeneBounds::new(i as f64, i as f64 + 2.0).unwrap())
+                    .collect();
+                let cfg = GaConfig { seed, generations: 10, population_size: 16, ..GaConfig::default() };
+                let r = optimize(&bounds, |c| c.iter().sum(), &cfg).unwrap();
+                for (x, b) in r.best.iter().zip(&bounds) {
+                    prop_assert!((b.lo..=b.hi).contains(x));
+                }
+            }
+
+            #[test]
+            fn ga_beats_random_baseline(seed in 0u64..200) {
+                // On a smooth unimodal function, 80 generations of GA must
+                // at least match the best of its own initial population.
+                let bounds = [GeneBounds::new(-10.0, 10.0).unwrap(); 3];
+                let f = |c: &[f64]| -c.iter().map(|x| (x - 1.5).powi(2)).sum::<f64>();
+                let cfg = GaConfig { seed, ..GaConfig::default() };
+                let r = optimize(&bounds, f, &cfg).unwrap();
+                prop_assert!(r.best_fitness >= r.history[0].best);
+            }
+        }
+    }
+}

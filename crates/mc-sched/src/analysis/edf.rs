@@ -1,0 +1,84 @@
+//! Plain EDF schedulability (Liu–Layland).
+//!
+//! On a preemptive uniprocessor, implicit-deadline periodic tasks are
+//! EDF-schedulable if and only if their total utilisation is at most one.
+//! This is the non-MC baseline: every task budgeted at its pessimistic
+//! WCET, no mode switching — the design the paper's Fig. 1 motivates
+//! against.
+
+use mc_task::TaskSet;
+
+/// Liu–Layland: a utilisation is feasible on a unit-speed uniprocessor iff
+/// it is at most 1 (within `f64` tolerance).
+pub fn utilization_feasible(total_utilization: f64) -> bool {
+    total_utilization <= 1.0 + 1e-9
+}
+
+/// EDF-schedulability of a task set with every task budgeted at its
+/// *pessimistic* WCET (conventional single-criticality design).
+///
+/// # Example
+///
+/// ```
+/// use mc_sched::analysis::edf::schedulable_pessimistic;
+/// use mc_task::{McTask, TaskId, TaskSet};
+/// use mc_task::time::Duration;
+///
+/// # fn main() -> Result<(), mc_task::TaskError> {
+/// let ts = TaskSet::from_tasks(vec![McTask::builder(TaskId::new(0))
+///     .period(Duration::from_millis(10))
+///     .c_lo(Duration::from_millis(5))
+///     .build()?])?;
+/// assert!(schedulable_pessimistic(&ts));
+/// # Ok(())
+/// # }
+/// ```
+pub fn schedulable_pessimistic(ts: &TaskSet) -> bool {
+    let total: f64 = ts.iter().map(|t| t.u_hi()).sum();
+    utilization_feasible(total)
+}
+
+/// EDF-schedulability with every task budgeted at its LO-mode WCET
+/// (optimistic design with no HI-mode safety net).
+pub fn schedulable_optimistic(ts: &TaskSet) -> bool {
+    utilization_feasible(ts.u_total_lo())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_task::time::Duration;
+    use mc_task::{Criticality, McTask, TaskId, TaskSet};
+
+    fn hc(id: u32, c_lo_ms: u64, c_hi_ms: u64, p_ms: u64) -> McTask {
+        McTask::builder(TaskId::new(id))
+            .criticality(Criticality::Hi)
+            .period(Duration::from_millis(p_ms))
+            .c_lo(Duration::from_millis(c_lo_ms))
+            .c_hi(Duration::from_millis(c_hi_ms))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn utilization_boundary() {
+        assert!(utilization_feasible(0.0));
+        assert!(utilization_feasible(1.0));
+        assert!(!utilization_feasible(1.01));
+    }
+
+    #[test]
+    fn pessimistic_test_uses_c_hi() {
+        // u_hi = 0.6 + 0.5 > 1 but u_lo = 0.1 + 0.1 <= 1.
+        let ts = TaskSet::from_tasks(vec![hc(0, 10, 60, 100), hc(1, 10, 50, 100)]).unwrap();
+        assert!(!schedulable_pessimistic(&ts));
+        assert!(schedulable_optimistic(&ts));
+    }
+
+    #[test]
+    fn empty_set_is_trivially_schedulable() {
+        let ts = TaskSet::new();
+        assert!(schedulable_pessimistic(&ts));
+        assert!(schedulable_optimistic(&ts));
+    }
+}

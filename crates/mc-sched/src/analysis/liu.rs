@@ -1,0 +1,248 @@
+//! Degraded-quality EDF-VD (Liu et al., RTSS 2016).
+//!
+//! In the imprecise mixed-criticality model, LC tasks are not dropped in HI
+//! mode: they continue with a degraded budget `f · C_LO` (the paper's Fig. 6
+//! uses `f = 0.5`). The sufficient EDF-VD test generalises Baruah's: with
+//! `x = U_HC^LO / (1 − U_LC^LO)`,
+//!
+//! ```text
+//! U_HC^LO + U_LC^LO ≤ 1                                   (LO mode)
+//! x · U_LC^LO + (1 − x) · U_LC^HI + U_HC^HI ≤ 1           (HI mode)
+//! ```
+//!
+//! where `U_LC^HI = f · U_LC^LO` is the degraded LC demand. Setting `f = 0`
+//! recovers Baruah's drop-all condition exactly.
+
+use mc_task::TaskSet;
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-9;
+
+/// Outcome of a degraded-quality EDF-VD analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LiuAnalysis {
+    /// `U_HC^LO` of the analysed set.
+    pub u_hc_lo: f64,
+    /// `U_HC^HI` of the analysed set.
+    pub u_hc_hi: f64,
+    /// `U_LC^LO` of the analysed set.
+    pub u_lc_lo: f64,
+    /// Degraded LC demand `f · U_LC^LO`.
+    pub u_lc_hi: f64,
+    /// The deadline-shrinking factor, when one exists.
+    pub x: Option<f64>,
+    /// Whether both conditions hold.
+    pub schedulable: bool,
+}
+
+/// Checks the degraded-quality conditions on raw utilisations with LC
+/// degradation factor `degradation ∈ [0, 1]` (fraction of the LC budget
+/// retained in HI mode).
+///
+/// # Panics
+///
+/// Panics when `degradation` is outside `[0, 1]` or not finite.
+pub fn conditions_hold(u_hc_lo: f64, u_hc_hi: f64, u_lc_lo: f64, degradation: f64) -> bool {
+    assert!(
+        degradation.is_finite() && (0.0..=1.0).contains(&degradation),
+        "degradation factor must be in [0, 1]"
+    );
+    if u_hc_lo + u_lc_lo > 1.0 + EPS || u_hc_hi > 1.0 + EPS {
+        return false;
+    }
+    let u_lc_hi = degradation * u_lc_lo;
+    if u_lc_lo >= 1.0 - EPS {
+        // Pure-LC system: HI mode must still fit the degraded demand.
+        return u_hc_hi + u_lc_hi <= 1.0 + EPS;
+    }
+    let x = if u_hc_lo <= EPS {
+        0.0
+    } else {
+        u_hc_lo / (1.0 - u_lc_lo)
+    };
+    if x > 1.0 + EPS {
+        return false;
+    }
+    x * u_lc_lo + (1.0 - x) * u_lc_hi + u_hc_hi <= 1.0 + EPS
+}
+
+/// Runs the degraded-quality analysis on a task set.
+pub fn analyze(ts: &TaskSet, degradation: f64) -> LiuAnalysis {
+    let u_hc_lo = ts.u_hc_lo();
+    let u_hc_hi = ts.u_hc_hi();
+    let u_lc_lo = ts.u_lc_lo();
+    LiuAnalysis {
+        u_hc_lo,
+        u_hc_hi,
+        u_lc_lo,
+        u_lc_hi: degradation * u_lc_lo,
+        x: super::edf_vd::x_factor(u_hc_lo, u_lc_lo),
+        schedulable: conditions_hold(u_hc_lo, u_hc_hi, u_lc_lo, degradation),
+    }
+}
+
+/// The largest LC utilisation admissible under the degraded-quality test
+/// given the HC demands (the Liu-analogue of the paper's Eqs. 11–12),
+/// computed by bisection over the closed-form conditions.
+///
+/// # Panics
+///
+/// Panics when `degradation` is outside `[0, 1]` or not finite.
+pub fn max_u_lc_lo(u_hc_lo: f64, u_hc_hi: f64, degradation: f64) -> f64 {
+    assert!(
+        degradation.is_finite() && (0.0..=1.0).contains(&degradation),
+        "degradation factor must be in [0, 1]"
+    );
+    if !conditions_hold(u_hc_lo, u_hc_hi, 0.0, degradation) {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    if conditions_hold(u_hc_lo, u_hc_hi, 1.0, degradation) {
+        return 1.0;
+    }
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if conditions_hold(u_hc_lo, u_hc_hi, mid, degradation) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_task::time::Duration;
+    use mc_task::{Criticality, McTask, TaskId};
+
+    #[test]
+    fn zero_degradation_recovers_baruah() {
+        for (a, b, c) in [
+            (0.2, 0.6, 0.3),
+            (0.5, 0.9, 0.4),
+            (0.1, 0.95, 0.2),
+            (0.0, 0.0, 0.99),
+        ] {
+            assert_eq!(
+                conditions_hold(a, b, c, 0.0),
+                super::super::edf_vd::conditions_hold(a, b, c),
+                "({a},{b},{c})"
+            );
+        }
+    }
+
+    #[test]
+    fn degradation_only_tightens() {
+        // Anything schedulable with f = 0.5 must be schedulable with f = 0.
+        for (a, b, c) in [(0.2, 0.6, 0.3), (0.3, 0.7, 0.25), (0.1, 0.8, 0.15)] {
+            if conditions_hold(a, b, c, 0.5) {
+                assert!(conditions_hold(a, b, c, 0.0));
+            }
+        }
+        // A concrete case separated by degradation: HI mode nearly full.
+        assert!(conditions_hold(0.2, 0.85, 0.3, 0.0));
+        assert!(!conditions_hold(0.2, 0.85, 0.3, 1.0));
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        // u_hc_lo=0.2, u_hc_hi=0.6, u_lc_lo=0.3, f=0.5:
+        //   x = 0.2/0.7 = 0.2857
+        //   0.2857·0.3 + 0.7143·0.15 + 0.6 = 0.0857+0.1071+0.6 = 0.7929 ≤ 1 ✓
+        assert!(conditions_hold(0.2, 0.6, 0.3, 0.5));
+        // Push HI demand: u_hc_hi = 0.92 → 0.0857+0.1071+0.92 = 1.11 ✗
+        assert!(!conditions_hold(0.2, 0.92, 0.3, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "degradation factor")]
+    fn invalid_degradation_panics() {
+        let _ = conditions_hold(0.1, 0.2, 0.1, 1.5);
+    }
+
+    #[test]
+    fn max_u_lc_lo_is_feasible_boundary() {
+        for (u_lo, u_hi) in [(0.1, 0.5), (0.3, 0.7), (0.2, 0.9)] {
+            for f in [0.0, 0.5, 1.0] {
+                let m = max_u_lc_lo(u_lo, u_hi, f);
+                assert!(conditions_hold(u_lo, u_hi, m, f), "({u_lo},{u_hi},{f})");
+                if m < 1.0 - 1e-9 {
+                    assert!(
+                        !conditions_hold(u_lo, u_hi, m + 1e-6, f),
+                        "({u_lo},{u_hi},{f})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_u_lc_lo_zero_when_hc_infeasible() {
+        assert_eq!(max_u_lc_lo(0.5, 1.1, 0.5), 0.0);
+    }
+
+    #[test]
+    fn max_u_lc_lo_one_for_empty_hc() {
+        assert!((max_u_lc_lo(0.0, 0.0, 0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_composes() {
+        let ts = mc_task::TaskSet::from_tasks(vec![
+            McTask::builder(TaskId::new(0))
+                .criticality(Criticality::Hi)
+                .period(Duration::from_millis(100))
+                .c_lo(Duration::from_millis(20))
+                .c_hi(Duration::from_millis(60))
+                .build()
+                .unwrap(),
+            McTask::builder(TaskId::new(1))
+                .period(Duration::from_millis(100))
+                .c_lo(Duration::from_millis(30))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let a = analyze(&ts, 0.5);
+        assert!((a.u_lc_hi - 0.15).abs() < 1e-12);
+        assert!(a.schedulable);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn liu_at_most_as_permissive_as_baruah(
+                u_hc_lo in 0.0..1.0f64,
+                extra in 0.0..1.0f64,
+                u_lc_lo in 0.0..1.0f64,
+                f in 0.0..=1.0f64,
+            ) {
+                let u_hc_hi = (u_hc_lo + extra).min(1.0);
+                if conditions_hold(u_hc_lo, u_hc_hi, u_lc_lo, f) {
+                    prop_assert!(super::super::super::edf_vd::conditions_hold(
+                        u_hc_lo, u_hc_hi, u_lc_lo
+                    ));
+                }
+            }
+
+            #[test]
+            fn max_u_lc_lo_decreases_with_degradation(
+                u_hc_lo in 0.0..0.8f64,
+                extra in 0.0..0.2f64,
+                f1 in 0.0..=1.0f64,
+                f2 in 0.0..=1.0f64,
+            ) {
+                let u_hc_hi = (u_hc_lo + extra).min(1.0);
+                let (fa, fb) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+                let ma = max_u_lc_lo(u_hc_lo, u_hc_hi, fa);
+                let mb = max_u_lc_lo(u_hc_lo, u_hc_hi, fb);
+                prop_assert!(mb <= ma + 1e-6);
+            }
+        }
+    }
+}

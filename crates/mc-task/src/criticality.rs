@@ -1,0 +1,157 @@
+//! Criticality levels.
+//!
+//! The paper targets dual-criticality systems (`ζᵢ ∈ {LC, HC}`) but grounds
+//! them in the DO-178B avionics standard's five design-assurance levels
+//! (A–E). [`Criticality`] is the dual-criticality type used throughout the
+//! workspace; [`Do178bLevel`] provides the standard's levels and a
+//! conventional mapping onto the dual model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dual-criticality level of a task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Criticality {
+    /// Low criticality (LC): may be degraded or dropped in HI mode.
+    #[default]
+    Lo,
+    /// High criticality (HC): must always meet its deadline.
+    Hi,
+}
+
+impl Criticality {
+    /// True for high-criticality tasks.
+    pub const fn is_high(self) -> bool {
+        matches!(self, Criticality::Hi)
+    }
+
+    /// True for low-criticality tasks.
+    pub const fn is_low(self) -> bool {
+        matches!(self, Criticality::Lo)
+    }
+
+    /// Both levels, lowest first.
+    pub const ALL: [Criticality; 2] = [Criticality::Lo, Criticality::Hi];
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Criticality::Lo => write!(f, "LC"),
+            Criticality::Hi => write!(f, "HC"),
+        }
+    }
+}
+
+/// DO-178B design assurance levels, from catastrophic (A) to no effect (E).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Do178bLevel {
+    /// Catastrophic failure condition.
+    A,
+    /// Hazardous/severe-major failure condition.
+    B,
+    /// Major failure condition.
+    C,
+    /// Minor failure condition.
+    D,
+    /// No effect on operational capability.
+    E,
+}
+
+impl Do178bLevel {
+    /// All five levels, most critical first.
+    pub const ALL: [Do178bLevel; 5] = [
+        Do178bLevel::A,
+        Do178bLevel::B,
+        Do178bLevel::C,
+        Do178bLevel::D,
+        Do178bLevel::E,
+    ];
+
+    /// Conventional collapse onto the dual-criticality model used by the
+    /// paper: levels A and B (whose failure is catastrophic or hazardous)
+    /// become [`Criticality::Hi`]; C, D and E become [`Criticality::Lo`].
+    pub const fn to_criticality(self) -> Criticality {
+        match self {
+            Do178bLevel::A | Do178bLevel::B => Criticality::Hi,
+            Do178bLevel::C | Do178bLevel::D | Do178bLevel::E => Criticality::Lo,
+        }
+    }
+}
+
+impl fmt::Display for Do178bLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Do178bLevel::A => 'A',
+            Do178bLevel::B => 'B',
+            Do178bLevel::C => 'C',
+            Do178bLevel::D => 'D',
+            Do178bLevel::E => 'E',
+        };
+        write!(f, "DAL-{c}")
+    }
+}
+
+impl From<Do178bLevel> for Criticality {
+    fn from(level: Do178bLevel) -> Criticality {
+        level.to_criticality()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_are_exclusive() {
+        assert!(Criticality::Hi.is_high());
+        assert!(!Criticality::Hi.is_low());
+        assert!(Criticality::Lo.is_low());
+        assert!(!Criticality::Lo.is_high());
+    }
+
+    #[test]
+    fn ordering_puts_low_first() {
+        assert!(Criticality::Lo < Criticality::Hi);
+        assert_eq!(Criticality::ALL[0], Criticality::Lo);
+    }
+
+    #[test]
+    fn default_is_low() {
+        assert_eq!(Criticality::default(), Criticality::Lo);
+    }
+
+    #[test]
+    fn display_matches_paper_terminology() {
+        assert_eq!(Criticality::Lo.to_string(), "LC");
+        assert_eq!(Criticality::Hi.to_string(), "HC");
+        assert_eq!(Do178bLevel::A.to_string(), "DAL-A");
+    }
+
+    #[test]
+    fn do178b_mapping_splits_at_b_c_boundary() {
+        assert_eq!(Do178bLevel::A.to_criticality(), Criticality::Hi);
+        assert_eq!(Do178bLevel::B.to_criticality(), Criticality::Hi);
+        assert_eq!(Do178bLevel::C.to_criticality(), Criticality::Lo);
+        assert_eq!(Do178bLevel::D.to_criticality(), Criticality::Lo);
+        assert_eq!(Do178bLevel::E.to_criticality(), Criticality::Lo);
+    }
+
+    #[test]
+    fn from_impl_matches_method() {
+        for level in Do178bLevel::ALL {
+            assert_eq!(Criticality::from(level), level.to_criticality());
+        }
+    }
+
+    #[test]
+    fn do178b_levels_order_most_critical_first() {
+        for pair in Do178bLevel::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+}

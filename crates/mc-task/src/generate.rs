@@ -1,0 +1,602 @@
+//! Synthetic task-set generation.
+//!
+//! The paper's evaluation (§V) generates 1000 synthetic dual-criticality
+//! task sets per utilisation point, "in line with previous works": tasks are
+//! added at random until the target utilisation bound is reached, periods
+//! are drawn uniformly from [100, 900] ms, and (for Fig. 6) a task is HC or
+//! LC with equal probability. This module reproduces that generator and also
+//! provides the classic UUniFast algorithm for fixed-cardinality sets.
+//!
+//! Each generated HC task carries an [`ExecutionProfile`] so that WCET
+//! assignment policies can be applied afterwards; the task's `C_LO` is
+//! initialised pessimistically to `C_HI` (the policy overrides it).
+
+use crate::criticality::Criticality;
+use crate::profile::ExecutionProfile;
+use crate::task::{McTask, TaskId};
+use crate::taskset::TaskSet;
+use crate::time::Duration;
+use crate::TaskError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the synthetic generator.
+///
+/// Defaults reproduce the paper's setup: periods in [100, 900] ms, equal
+/// HC/LC probability, a per-task HI-mode utilisation in [0.02, 0.2], a
+/// pessimistic-to-average WCET ratio in [5, 60] (Table I observes 8.1× to
+/// 59×), and an execution-time coefficient of variation in [0.02, 0.3].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Period range in milliseconds, inclusive.
+    pub period_ms: (u64, u64),
+    /// Per-task utilisation range (HI-mode utilisation for HC tasks,
+    /// LO-mode utilisation for LC tasks).
+    pub task_utilization: (f64, f64),
+    /// Range for `WCET_pes / ACET`.
+    pub wcet_ratio: (f64, f64),
+    /// Range for `σ / ACET` (coefficient of variation).
+    pub coefficient_of_variation: (f64, f64),
+    /// Probability that a generated task is high-criticality.
+    pub p_high: f64,
+    /// Hard cap on the number of tasks per set (guards against
+    /// pathological configurations that never reach the target).
+    pub max_tasks: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            period_ms: (100, 900),
+            task_utilization: (0.02, 0.2),
+            wcet_ratio: (5.0, 60.0),
+            coefficient_of_variation: (0.02, 0.3),
+            p_high: 0.5,
+            max_tasks: 512,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidGeneratorConfig`] when any range is
+    /// empty/inverted, the probability is outside [0, 1], utilisations are
+    /// outside (0, 1], or the WCET ratio dips below 1.
+    pub fn validate(&self) -> Result<(), TaskError> {
+        let err = |reason| Err(TaskError::InvalidGeneratorConfig { reason });
+        if self.period_ms.0 == 0 || self.period_ms.1 < self.period_ms.0 {
+            return err("period range must be non-empty and start above zero");
+        }
+        let (ulo, uhi) = self.task_utilization;
+        if !(ulo.is_finite() && uhi.is_finite()) || ulo <= 0.0 || uhi < ulo || uhi > 1.0 {
+            return err("task utilization range must satisfy 0 < lo <= hi <= 1");
+        }
+        let (rlo, rhi) = self.wcet_ratio;
+        if !(rlo.is_finite() && rhi.is_finite()) || rlo < 1.0 || rhi < rlo {
+            return err("wcet ratio range must satisfy 1 <= lo <= hi");
+        }
+        let (clo, chi) = self.coefficient_of_variation;
+        if !(clo.is_finite() && chi.is_finite()) || clo < 0.0 || chi < clo {
+            return err("coefficient of variation range must satisfy 0 <= lo <= hi");
+        }
+        if !self.p_high.is_finite() || !(0.0..=1.0).contains(&self.p_high) {
+            return err("p_high must be in [0, 1]");
+        }
+        if self.max_tasks == 0 {
+            return err("max_tasks must be non-zero");
+        }
+        Ok(())
+    }
+
+    fn sample_period<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        Duration::from_millis(rng.random_range(self.period_ms.0..=self.period_ms.1))
+    }
+
+    fn sample_range<R: Rng + ?Sized>(&self, rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            rng.random_range(lo..hi)
+        }
+    }
+}
+
+/// Generates one high-criticality task with HI-mode utilisation `u_hi`.
+///
+/// The pessimistic WCET is `u_hi · P`; the ACET is drawn via the WCET/ACET
+/// ratio; σ via the coefficient of variation. `C_LO` starts at `C_HI` — the
+/// caller's WCET-assignment policy is expected to lower it.
+///
+/// # Errors
+///
+/// Returns an error when `u_hi` is outside (0, 1] or the configuration is
+/// invalid.
+pub fn generate_hc_task<R: Rng + ?Sized>(
+    id: TaskId,
+    u_hi: f64,
+    cfg: &GeneratorConfig,
+    rng: &mut R,
+) -> Result<McTask, TaskError> {
+    cfg.validate()?;
+    if !u_hi.is_finite() || u_hi <= 0.0 || u_hi > 1.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "requested task utilization must be in (0, 1]",
+        });
+    }
+    let period = cfg.sample_period(rng);
+    let c_hi = period.mul_f64(u_hi).max(Duration::from_nanos(1));
+    let wcet_pes = c_hi.as_nanos() as f64;
+    let ratio = cfg.sample_range(rng, cfg.wcet_ratio);
+    let acet = wcet_pes / ratio;
+    let cv = cfg.sample_range(rng, cfg.coefficient_of_variation);
+    // Keep σ small enough that ACET + σ stays below WCET_pes even for n = 1.
+    let sigma = (cv * acet).min((wcet_pes - acet).max(0.0));
+    let profile = ExecutionProfile::new(acet, sigma, wcet_pes)?;
+    McTask::builder(id)
+        .criticality(Criticality::Hi)
+        .period(period)
+        .c_lo(c_hi)
+        .c_hi(c_hi)
+        .profile(profile)
+        .build()
+}
+
+/// Generates one low-criticality task with utilisation `u`.
+///
+/// # Errors
+///
+/// Returns an error when `u` is outside (0, 1] or the configuration is
+/// invalid.
+pub fn generate_lc_task<R: Rng + ?Sized>(
+    id: TaskId,
+    u: f64,
+    cfg: &GeneratorConfig,
+    rng: &mut R,
+) -> Result<McTask, TaskError> {
+    cfg.validate()?;
+    if !u.is_finite() || u <= 0.0 || u > 1.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "requested task utilization must be in (0, 1]",
+        });
+    }
+    let period = cfg.sample_period(rng);
+    let c = period.mul_f64(u).max(Duration::from_nanos(1));
+    McTask::builder(id).period(period).c_lo(c).build()
+}
+
+/// Generates a task set containing only HC tasks whose total HI-mode
+/// utilisation is `target_u_hi` (to within the final task's trim).
+///
+/// This is the generator behind the paper's Figs. 2–5, which sweep
+/// `U_HC^HI` while LC demand is characterised analytically by
+/// `max(U_LC^LO)`.
+///
+/// # Errors
+///
+/// Returns an error when the target is not in (0, 1], the configuration is
+/// invalid, or the `max_tasks` cap is reached before the target.
+pub fn generate_hc_taskset<R: Rng + ?Sized>(
+    target_u_hi: f64,
+    cfg: &GeneratorConfig,
+    rng: &mut R,
+) -> Result<TaskSet, TaskError> {
+    cfg.validate()?;
+    if !target_u_hi.is_finite() || target_u_hi <= 0.0 || target_u_hi > 1.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "target utilization must be in (0, 1]",
+        });
+    }
+    let mut ts = TaskSet::new();
+    let mut remaining = target_u_hi;
+    let mut next_id = 0u32;
+    // Ignore crumbs below this threshold instead of creating micro-tasks.
+    const CRUMB: f64 = 1e-4;
+    while remaining > CRUMB {
+        if ts.len() >= cfg.max_tasks {
+            return Err(TaskError::InvalidGeneratorConfig {
+                reason: "max_tasks reached before the utilization target",
+            });
+        }
+        let mut u = cfg.sample_range(rng, cfg.task_utilization);
+        if u > remaining {
+            u = remaining;
+        }
+        let task = generate_hc_task(TaskId::new(next_id), u, cfg, rng)?;
+        remaining -= task.u_hi();
+        ts.push(task).expect("ids are sequential and unique");
+        next_id += 1;
+    }
+    Ok(ts)
+}
+
+/// Generates a mixed task set per the paper's Fig. 6 setup: tasks are HC
+/// with probability `cfg.p_high`, and tasks are added until the *bound
+/// utilisation* — `U_HC^HI + U_LC^LO`, the two demands appearing in the
+/// schedulability conditions — reaches `u_bound`.
+///
+/// # Errors
+///
+/// Same conditions as [`generate_hc_taskset`].
+pub fn generate_mixed_taskset<R: Rng + ?Sized>(
+    u_bound: f64,
+    cfg: &GeneratorConfig,
+    rng: &mut R,
+) -> Result<TaskSet, TaskError> {
+    cfg.validate()?;
+    if !u_bound.is_finite() || u_bound <= 0.0 || u_bound > 2.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "u_bound must be in (0, 2]",
+        });
+    }
+    let mut ts = TaskSet::new();
+    let mut remaining = u_bound;
+    let mut next_id = 0u32;
+    const CRUMB: f64 = 1e-4;
+    while remaining > CRUMB {
+        if ts.len() >= cfg.max_tasks {
+            return Err(TaskError::InvalidGeneratorConfig {
+                reason: "max_tasks reached before the utilization target",
+            });
+        }
+        let mut u = cfg.sample_range(rng, cfg.task_utilization);
+        if u > remaining {
+            u = remaining;
+        }
+        let high = rng.random::<f64>() < cfg.p_high;
+        let id = TaskId::new(next_id);
+        let task = if high {
+            generate_hc_task(id, u, cfg, rng)?
+        } else {
+            generate_lc_task(id, u, cfg, rng)?
+        };
+        remaining -= if high { task.u_hi() } else { task.u_lo() };
+        ts.push(task).expect("ids are sequential and unique");
+        next_id += 1;
+    }
+    Ok(ts)
+}
+
+/// Generates a mixed task set whose **LO-mode** utilisation reaches
+/// `u_bound`, with HC tasks designed the way the λ-baseline papers design
+/// them: a per-task fraction `λᵢ` is drawn uniformly from `lambda_range`
+/// and the task's optimistic WCET is `C_LO = λᵢ · C_HI`.
+///
+/// This is the Fig. 6 generator: the *visible* LO-mode demand
+/// (`Σ λᵢ·uᵢ^HI` over HC tasks plus `Σ uᵢ` over LC tasks) is what reaches
+/// the bound, while the *hidden* HI-mode demand `uᵢ^HI = uᵢ^LO/λᵢ` is what
+/// breaks EDF-VD schedulability as the bound grows — exactly the failure
+/// mode the paper's scheme avoids by re-deriving `C_LO` from `(ACET, σ)`.
+///
+/// # Errors
+///
+/// Returns an error when `u_bound` is outside (0, 2], the λ range is not
+/// within (0, 1] with `lo ≤ hi`, or generation hits the `max_tasks` cap.
+pub fn generate_lo_bounded_taskset<R: Rng + ?Sized>(
+    u_bound: f64,
+    lambda_range: (f64, f64),
+    cfg: &GeneratorConfig,
+    rng: &mut R,
+) -> Result<TaskSet, TaskError> {
+    cfg.validate()?;
+    if !u_bound.is_finite() || u_bound <= 0.0 || u_bound > 2.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "u_bound must be in (0, 2]",
+        });
+    }
+    let (l_lo, l_hi) = lambda_range;
+    if !(l_lo.is_finite() && l_hi.is_finite()) || l_lo <= 0.0 || l_hi > 1.0 || l_lo > l_hi {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "lambda range must satisfy 0 < lo <= hi <= 1",
+        });
+    }
+    let mut ts = TaskSet::new();
+    let mut remaining = u_bound;
+    let mut next_id = 0u32;
+    const CRUMB: f64 = 1e-4;
+    while remaining > CRUMB {
+        if ts.len() >= cfg.max_tasks {
+            return Err(TaskError::InvalidGeneratorConfig {
+                reason: "max_tasks reached before the utilization target",
+            });
+        }
+        let high = rng.random::<f64>() < cfg.p_high;
+        let id = TaskId::new(next_id);
+        if high {
+            // Draw the HI-mode size and the λ fraction, then express the
+            // task's *LO-mode* contribution λ·u_hi toward the bound.
+            let lambda = if l_hi > l_lo {
+                rng.random_range(l_lo..=l_hi)
+            } else {
+                l_lo
+            };
+            let mut u_hi = cfg.sample_range(rng, cfg.task_utilization);
+            if lambda * u_hi > remaining {
+                u_hi = remaining / lambda;
+            }
+            let mut task = generate_hc_task(id, u_hi.min(1.0), cfg, rng)?;
+            let c_lo = task
+                .c_hi()
+                .mul_f64(lambda)
+                .max(Duration::from_nanos(1));
+            task.set_c_lo(c_lo)?;
+            remaining -= task.u_lo();
+            ts.push(task).expect("ids are sequential and unique");
+        } else {
+            let mut u = cfg.sample_range(rng, cfg.task_utilization);
+            if u > remaining {
+                u = remaining;
+            }
+            let task = generate_lc_task(id, u, cfg, rng)?;
+            remaining -= task.u_lo();
+            ts.push(task).expect("ids are sequential and unique");
+        }
+        next_id += 1;
+    }
+    Ok(ts)
+}
+
+/// The UUniFast algorithm (Bini & Buttazzo): draws `n` per-task utilisations
+/// that sum exactly to `total` with an unbiased uniform distribution over
+/// the simplex.
+///
+/// # Errors
+///
+/// Returns an error when `n == 0` or `total` is not strictly positive.
+pub fn uunifast<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    rng: &mut R,
+) -> Result<Vec<f64>, TaskError> {
+    if n == 0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "uunifast requires at least one task",
+        });
+    }
+    if !total.is_finite() || total <= 0.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "uunifast total utilization must be strictly positive",
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.random::<f64>().powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_config_is_valid() {
+        GeneratorConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn config_validation_catches_bad_ranges() {
+        let mut cfg = GeneratorConfig::default();
+        cfg.period_ms = (0, 10);
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.period_ms = (200, 100);
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.task_utilization = (0.0, 0.5);
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.task_utilization = (0.1, 1.5);
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.wcet_ratio = (0.5, 2.0);
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.coefficient_of_variation = (-0.1, 0.2);
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.p_high = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = GeneratorConfig::default();
+        cfg.max_tasks = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn hc_task_has_profile_and_paper_period_range() {
+        let cfg = GeneratorConfig::default();
+        let mut r = rng(1);
+        for i in 0..50 {
+            let t = generate_hc_task(TaskId::new(i), 0.1, &cfg, &mut r).unwrap();
+            assert!(t.is_high());
+            let p_ms = t.period().as_millis_f64();
+            assert!((100.0..=900.0).contains(&p_ms), "period {p_ms} ms");
+            assert!((t.u_hi() - 0.1).abs() < 1e-6);
+            assert_eq!(t.c_lo(), t.c_hi(), "C_LO starts pessimistic");
+            let profile = t.profile().expect("HC tasks carry a profile");
+            assert!(profile.acet() > 0.0);
+            assert!(profile.wcet_pes() >= profile.acet());
+            let ratio = profile.wcet_ratio();
+            assert!((5.0..=60.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn lc_task_has_no_profile() {
+        let cfg = GeneratorConfig::default();
+        let mut r = rng(2);
+        let t = generate_lc_task(TaskId::new(0), 0.05, &cfg, &mut r).unwrap();
+        assert!(!t.is_high());
+        assert!(t.profile().is_none());
+        assert!((t.u_lo() - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn utilization_out_of_range_is_rejected() {
+        let cfg = GeneratorConfig::default();
+        let mut r = rng(3);
+        assert!(generate_hc_task(TaskId::new(0), 0.0, &cfg, &mut r).is_err());
+        assert!(generate_hc_task(TaskId::new(0), 1.5, &cfg, &mut r).is_err());
+        assert!(generate_lc_task(TaskId::new(0), -0.1, &cfg, &mut r).is_err());
+    }
+
+    #[test]
+    fn hc_taskset_hits_the_target_utilization() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..20 {
+            let mut r = rng(seed);
+            let target = 0.4 + 0.025 * (seed % 20) as f64;
+            let ts = generate_hc_taskset(target, &cfg, &mut r).unwrap();
+            assert!(
+                (ts.u_hc_hi() - target).abs() < 2e-3,
+                "seed {seed}: got {} want {target}",
+                ts.u_hc_hi()
+            );
+            assert_eq!(ts.lc_count(), 0);
+            assert!(!ts.is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_taskset_hits_the_bound_and_mixes_criticalities() {
+        let cfg = GeneratorConfig::default();
+        let mut hc_total = 0usize;
+        let mut lc_total = 0usize;
+        for seed in 100..120 {
+            let mut r = rng(seed);
+            let ts = generate_mixed_taskset(0.8, &cfg, &mut r).unwrap();
+            let bound_u = ts.u_hc_hi() + ts.u_lc_lo();
+            assert!((bound_u - 0.8).abs() < 2e-3, "seed {seed}: {bound_u}");
+            hc_total += ts.hc_count();
+            lc_total += ts.lc_count();
+        }
+        // With p_high = 0.5 over 20 sets both kinds must appear.
+        assert!(hc_total > 0 && lc_total > 0);
+        let frac = hc_total as f64 / (hc_total + lc_total) as f64;
+        assert!((0.3..0.7).contains(&frac), "HC fraction {frac}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = GeneratorConfig::default();
+        let a = generate_mixed_taskset(0.6, &cfg, &mut rng(7)).unwrap();
+        let b = generate_mixed_taskset(0.6, &cfg, &mut rng(7)).unwrap();
+        assert_eq!(a, b);
+        let c = generate_mixed_taskset(0.6, &cfg, &mut rng(8)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn max_tasks_cap_fires() {
+        let mut cfg = GeneratorConfig::default();
+        cfg.max_tasks = 2;
+        cfg.task_utilization = (0.02, 0.05);
+        let mut r = rng(9);
+        assert!(generate_hc_taskset(0.9, &cfg, &mut r).is_err());
+    }
+
+    #[test]
+    fn lo_bounded_taskset_hits_the_lo_bound() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..15u64 {
+            let mut r = rng(300 + seed);
+            let ts = generate_lo_bounded_taskset(0.9, (0.25, 1.0), &cfg, &mut r).unwrap();
+            let u_lo = ts.u_total_lo();
+            assert!((u_lo - 0.9).abs() < 5e-3, "seed {seed}: U_LO = {u_lo}");
+            // The hidden HI-mode demand exceeds the visible LO-mode demand.
+            assert!(ts.u_hc_hi() >= ts.u_hc_lo());
+            for t in ts.hc_tasks() {
+                let lambda = t.c_lo().as_nanos() as f64 / t.c_hi().as_nanos() as f64;
+                assert!(
+                    (0.24..=1.01).contains(&lambda),
+                    "seed {seed}: lambda {lambda}"
+                );
+                assert!(t.profile().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn lo_bounded_taskset_validates_input() {
+        let cfg = GeneratorConfig::default();
+        let mut r = rng(0);
+        assert!(generate_lo_bounded_taskset(0.0, (0.25, 1.0), &cfg, &mut r).is_err());
+        assert!(generate_lo_bounded_taskset(0.5, (0.0, 1.0), &cfg, &mut r).is_err());
+        assert!(generate_lo_bounded_taskset(0.5, (0.5, 0.25), &cfg, &mut r).is_err());
+        assert!(generate_lo_bounded_taskset(0.5, (0.5, 1.5), &cfg, &mut r).is_err());
+    }
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut r = rng(10);
+        for n in [1usize, 2, 5, 20] {
+            let us = uunifast(n, 0.75, &mut r).unwrap();
+            assert_eq!(us.len(), n);
+            let sum: f64 = us.iter().sum();
+            assert!((sum - 0.75).abs() < 1e-9, "n={n}: sum {sum}");
+            assert!(us.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uunifast_rejects_degenerate_input() {
+        let mut r = rng(11);
+        assert!(uunifast(0, 0.5, &mut r).is_err());
+        assert!(uunifast(3, 0.0, &mut r).is_err());
+        assert!(uunifast(3, f64::NAN, &mut r).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn generated_sets_respect_invariants(seed in 0u64..10_000, target in 0.05..0.95f64) {
+                let cfg = GeneratorConfig::default();
+                let mut r = StdRng::seed_from_u64(seed);
+                let ts = generate_mixed_taskset(target, &cfg, &mut r).unwrap();
+                for t in &ts {
+                    prop_assert!(t.u_hi() <= 1.0 + 1e-9);
+                    prop_assert!(t.c_lo() <= t.c_hi());
+                    if t.is_high() {
+                        let p = t.profile().unwrap();
+                        prop_assert!(p.acet() <= p.wcet_pes());
+                        prop_assert!(p.sigma() >= 0.0);
+                        // Eq. 9 is satisfiable: at n = 1 the level stays below WCET_pes.
+                        prop_assert!(p.level(1.0) <= p.wcet_pes() + 1e-6);
+                    }
+                }
+                let bound_u = ts.u_hc_hi() + ts.u_lc_lo();
+                prop_assert!((bound_u - target).abs() < 5e-3);
+            }
+
+            #[test]
+            fn uunifast_is_a_probability_partition(
+                seed in 0u64..10_000,
+                n in 1usize..30,
+                total in 0.01..1.0f64,
+            ) {
+                let mut r = StdRng::seed_from_u64(seed);
+                let us = uunifast(n, total, &mut r).unwrap();
+                let sum: f64 = us.iter().sum();
+                prop_assert!((sum - total).abs() < 1e-9);
+                prop_assert!(us.iter().all(|&u| (0.0..=total + 1e-12).contains(&u)));
+            }
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Multi-level criticality task model (the paper's future-work extension).
+//!
+//! The paper treats dual-criticality systems but notes (§I, §VI) that the
+//! scheme "could be used for MC systems with several criticality levels".
+//! This module provides the Vestal-style generalisation: `L` system modes,
+//! each task `τᵢ` has a criticality level `ℓᵢ ∈ 0..L` (higher is more
+//! critical, e.g. DO-178B E…A collapse onto 0…4) and a non-decreasing
+//! budget vector `Cᵢ(0) ≤ Cᵢ(1) ≤ … ≤ Cᵢ(ℓᵢ)`.
+//!
+//! Operationally: the system starts in mode 0; in mode `k` every task with
+//! `ℓᵢ < k` is dropped and every remaining task runs with budget `Cᵢ(k)`;
+//! when a task exhausts `Cᵢ(k)` without finishing, the system escalates to
+//! mode `k+1`.
+
+use crate::profile::ExecutionProfile;
+use crate::task::TaskId;
+use crate::time::Duration;
+use crate::TaskError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A periodic task in an `L`-level system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTask {
+    id: TaskId,
+    name: String,
+    level: usize,
+    budgets: Vec<Duration>,
+    period: Duration,
+    profile: Option<ExecutionProfile>,
+}
+
+impl MultiTask {
+    /// Creates a task with criticality `level` and budgets
+    /// `budgets[0..=level]` (one per mode it survives in).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidWcet`] unless there are exactly
+    /// `level + 1` budgets, they are non-zero, non-decreasing, and fit in
+    /// the period; [`TaskError::InvalidTiming`] for a zero period; and
+    /// [`TaskError::InvalidProfile`] when an attached profile disagrees
+    /// with the top budget.
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        level: usize,
+        budgets: Vec<Duration>,
+        period: Duration,
+        profile: Option<ExecutionProfile>,
+    ) -> Result<Self, TaskError> {
+        if period.is_zero() {
+            return Err(TaskError::InvalidTiming {
+                id,
+                reason: "period must be non-zero",
+            });
+        }
+        if budgets.len() != level + 1 {
+            return Err(TaskError::InvalidWcet {
+                id,
+                reason: "a level-l task needs exactly l+1 budgets",
+            });
+        }
+        for pair in budgets.windows(2) {
+            if pair[0] > pair[1] {
+                return Err(TaskError::InvalidWcet {
+                    id,
+                    reason: "budgets must be non-decreasing across modes",
+                });
+            }
+        }
+        if budgets[0].is_zero() {
+            return Err(TaskError::InvalidWcet {
+                id,
+                reason: "budgets must be non-zero",
+            });
+        }
+        if *budgets.last().expect("non-empty by construction") > period {
+            return Err(TaskError::InvalidWcet {
+                id,
+                reason: "the top budget must fit in the period",
+            });
+        }
+        if let Some(p) = &profile {
+            let top = budgets.last().expect("non-empty").as_nanos() as f64;
+            if (p.wcet_pes() - top).abs() > 1.0 {
+                return Err(TaskError::InvalidProfile {
+                    reason: "profile wcet_pes must match the top budget",
+                });
+            }
+        }
+        Ok(MultiTask {
+            id,
+            name: name.into(),
+            level,
+            budgets,
+            period,
+            profile,
+        })
+    }
+
+    /// Task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Criticality level (0 = lowest).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The budget used in mode `mode`, or `None` when the task is dropped
+    /// there (`mode > level`).
+    pub fn budget(&self, mode: usize) -> Option<Duration> {
+        self.budgets.get(mode).copied()
+    }
+
+    /// All budgets, mode 0 first.
+    pub fn budgets(&self) -> &[Duration] {
+        &self.budgets
+    }
+
+    /// Period (= implicit deadline).
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Execution profile, when attached.
+    pub fn profile(&self) -> Option<&ExecutionProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Utilisation in mode `mode` (`0` when dropped there).
+    pub fn utilization(&self, mode: usize) -> f64 {
+        match self.budget(mode) {
+            Some(c) => c.ratio(self.period),
+            None => 0.0,
+        }
+    }
+
+    /// Replaces the budgets below the task's own level (the knob the
+    /// multi-level scheme turns); the top budget is fixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidWcet`] when the count or ordering is
+    /// wrong.
+    pub fn set_lower_budgets(&mut self, lower: &[Duration]) -> Result<(), TaskError> {
+        if lower.len() != self.level {
+            return Err(TaskError::InvalidWcet {
+                id: self.id,
+                reason: "need exactly `level` lower budgets",
+            });
+        }
+        let mut budgets = lower.to_vec();
+        budgets.push(*self.budgets.last().expect("non-empty"));
+        for pair in budgets.windows(2) {
+            if pair[0] > pair[1] {
+                return Err(TaskError::InvalidWcet {
+                    id: self.id,
+                    reason: "budgets must be non-decreasing across modes",
+                });
+            }
+        }
+        if budgets[0].is_zero() {
+            return Err(TaskError::InvalidWcet {
+                id: self.id,
+                reason: "budgets must be non-zero",
+            });
+        }
+        self.budgets = budgets;
+        Ok(())
+    }
+}
+
+impl fmt::Display for MultiTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [L{}] C=(", self.id, self.level)?;
+        for (i, b) in self.budgets.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, ") P={}", self.period)
+    }
+}
+
+/// A set of multi-level tasks sharing one `L`-level platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTaskSet {
+    levels: usize,
+    tasks: Vec<MultiTask>,
+}
+
+impl MultiTaskSet {
+    /// Creates an empty set for a platform with `levels` criticality
+    /// levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidGeneratorConfig`] when `levels < 2`
+    /// (one level is a plain real-time system).
+    pub fn new(levels: usize) -> Result<Self, TaskError> {
+        if levels < 2 {
+            return Err(TaskError::InvalidGeneratorConfig {
+                reason: "a mixed-criticality platform needs at least 2 levels",
+            });
+        }
+        Ok(MultiTaskSet {
+            levels,
+            tasks: Vec::new(),
+        })
+    }
+
+    /// Number of platform levels `L`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Adds a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::DuplicateTaskId`] for a duplicate id and
+    /// [`TaskError::InvalidWcet`] when the task's level is outside the
+    /// platform.
+    pub fn push(&mut self, task: MultiTask) -> Result<(), TaskError> {
+        if task.level >= self.levels {
+            return Err(TaskError::InvalidWcet {
+                id: task.id,
+                reason: "task level exceeds the platform's levels",
+            });
+        }
+        if self.tasks.iter().any(|t| t.id == task.id) {
+            return Err(TaskError::DuplicateTaskId { id: task.id });
+        }
+        self.tasks.push(task);
+        Ok(())
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the set has no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Iterates over the tasks.
+    pub fn iter(&self) -> std::slice::Iter<'_, MultiTask> {
+        self.tasks.iter()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, MultiTask> {
+        self.tasks.iter_mut()
+    }
+
+    /// Total utilisation, in mode `mode`, of tasks whose criticality level
+    /// is exactly `level` (0 for tasks dropped in that mode).
+    pub fn utilization_of_level(&self, level: usize, mode: usize) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.level == level)
+            .map(|t| t.utilization(mode))
+            .sum()
+    }
+
+    /// Total utilisation, in mode `mode`, of tasks with level ≥ `min_level`.
+    pub fn utilization_at_least(&self, min_level: usize, mode: usize) -> f64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.level >= min_level)
+            .map(|t| t.utilization(mode))
+            .sum()
+    }
+
+    /// Collapses the set onto the dual-criticality model around the mode
+    /// pair `(k, k+1)`: tasks of level `k` become LC (budget `C(k)`), tasks
+    /// of level `> k` become HC with `C_LO = C(k)` and `C_HI = C(k+1)`.
+    /// Tasks below level `k` are already dropped. Returns
+    /// `(u_hc_lo, u_hc_hi, u_lc_lo)` — the inputs to the paper's Eq. 8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidGeneratorConfig`] when
+    /// `k + 1 ≥ levels`.
+    pub fn reduce_to_dual(&self, k: usize) -> Result<(f64, f64, f64), TaskError> {
+        if k + 1 >= self.levels {
+            return Err(TaskError::InvalidGeneratorConfig {
+                reason: "mode pair exceeds the platform's levels",
+            });
+        }
+        let u_lc_lo = self.utilization_of_level(k, k);
+        let u_hc_lo = self.utilization_at_least(k + 1, k);
+        let u_hc_hi = self.utilization_at_least(k + 1, k + 1);
+        Ok((u_hc_lo, u_hc_hi, u_lc_lo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn task(id: u32, level: usize, budgets_ms: &[u64], period_ms: u64) -> MultiTask {
+        MultiTask::new(
+            TaskId::new(id),
+            format!("t{id}"),
+            level,
+            budgets_ms.iter().map(|&b| ms(b)).collect(),
+            ms(period_ms),
+            None,
+        )
+        .unwrap()
+    }
+
+    /// A 3-level system used across tests.
+    fn tri_level_set() -> MultiTaskSet {
+        let mut ts = MultiTaskSet::new(3).unwrap();
+        ts.push(task(0, 2, &[5, 10, 40], 100)).unwrap(); // top criticality
+        ts.push(task(1, 1, &[10, 20], 100)).unwrap(); // middle
+        ts.push(task(2, 0, &[20], 100)).unwrap(); // lowest
+        ts
+    }
+
+    #[test]
+    fn construction_validates_budget_vector() {
+        // Wrong count.
+        assert!(MultiTask::new(TaskId::new(0), "", 2, vec![ms(1), ms(2)], ms(10), None).is_err());
+        // Decreasing budgets.
+        assert!(
+            MultiTask::new(TaskId::new(0), "", 1, vec![ms(5), ms(3)], ms(10), None).is_err()
+        );
+        // Zero first budget.
+        assert!(MultiTask::new(
+            TaskId::new(0),
+            "",
+            1,
+            vec![Duration::ZERO, ms(3)],
+            ms(10),
+            None
+        )
+        .is_err());
+        // Top budget beyond the period.
+        assert!(
+            MultiTask::new(TaskId::new(0), "", 1, vec![ms(5), ms(15)], ms(10), None).is_err()
+        );
+        // Zero period.
+        assert!(MultiTask::new(
+            TaskId::new(0),
+            "",
+            0,
+            vec![ms(1)],
+            Duration::ZERO,
+            None
+        )
+        .is_err());
+        // Valid.
+        let t = task(0, 1, &[2, 8], 10);
+        assert_eq!(t.level(), 1);
+        assert_eq!(t.budget(0), Some(ms(2)));
+        assert_eq!(t.budget(1), Some(ms(8)));
+        assert_eq!(t.budget(2), None);
+    }
+
+    #[test]
+    fn utilization_per_mode_drops_below_level() {
+        let t = task(0, 1, &[10, 20], 100);
+        assert!((t.utilization(0) - 0.1).abs() < 1e-12);
+        assert!((t.utilization(1) - 0.2).abs() < 1e-12);
+        assert_eq!(t.utilization(2), 0.0);
+    }
+
+    #[test]
+    fn set_lower_budgets_respects_ordering() {
+        let mut t = task(0, 2, &[5, 10, 40], 100);
+        t.set_lower_budgets(&[ms(3), ms(12)]).unwrap();
+        assert_eq!(t.budgets(), &[ms(3), ms(12), ms(40)]);
+        // Exceeding the fixed top budget is rejected.
+        assert!(t.set_lower_budgets(&[ms(3), ms(50)]).is_err());
+        // Wrong count.
+        assert!(t.set_lower_budgets(&[ms(3)]).is_err());
+        // Decreasing.
+        assert!(t.set_lower_budgets(&[ms(12), ms(3)]).is_err());
+        // Zero.
+        assert!(t.set_lower_budgets(&[Duration::ZERO, ms(12)]).is_err());
+    }
+
+    #[test]
+    fn platform_validates_levels_and_ids() {
+        assert!(MultiTaskSet::new(1).is_err());
+        let mut ts = MultiTaskSet::new(2).unwrap();
+        ts.push(task(0, 1, &[1, 2], 10)).unwrap();
+        // Duplicate id.
+        assert!(ts.push(task(0, 0, &[1], 10)).is_err());
+        // Level out of range.
+        assert!(ts.push(task(1, 2, &[1, 2, 3], 10)).is_err());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_utilizations() {
+        let ts = tri_level_set();
+        assert!((ts.utilization_of_level(0, 0) - 0.2).abs() < 1e-12);
+        assert!((ts.utilization_of_level(1, 0) - 0.1).abs() < 1e-12);
+        assert!((ts.utilization_of_level(2, 0) - 0.05).abs() < 1e-12);
+        // In mode 1 the level-0 task is dropped.
+        assert_eq!(ts.utilization_of_level(0, 1), 0.0);
+        assert!((ts.utilization_at_least(1, 0) - 0.15).abs() < 1e-12);
+        assert!((ts.utilization_at_least(1, 1) - 0.3).abs() < 1e-12);
+        assert!((ts.utilization_at_least(2, 2) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_reduction_matches_hand_computation() {
+        let ts = tri_level_set();
+        // Pair (0, 1): LC = level-0 task (u = 0.2);
+        // HC = levels 1,2 with C(0) (0.1 + 0.05) and C(1) (0.2 + 0.1).
+        let (u_hc_lo, u_hc_hi, u_lc_lo) = ts.reduce_to_dual(0).unwrap();
+        assert!((u_lc_lo - 0.2).abs() < 1e-12);
+        assert!((u_hc_lo - 0.15).abs() < 1e-12);
+        assert!((u_hc_hi - 0.3).abs() < 1e-12);
+        // Pair (1, 2): LC = level-1 task at C(1) = 0.2; HC = level-2 task
+        // with C(1) = 0.1 and C(2) = 0.4.
+        let (u_hc_lo, u_hc_hi, u_lc_lo) = ts.reduce_to_dual(1).unwrap();
+        assert!((u_lc_lo - 0.2).abs() < 1e-12);
+        assert!((u_hc_lo - 0.1).abs() < 1e-12);
+        assert!((u_hc_hi - 0.4).abs() < 1e-12);
+        // No pair (2, 3) on a 3-level platform.
+        assert!(ts.reduce_to_dual(2).is_err());
+    }
+
+    #[test]
+    fn display_shows_levels_and_budgets() {
+        let t = task(3, 1, &[2, 8], 10);
+        let s = t.to_string();
+        assert!(s.contains("τ3"));
+        assert!(s.contains("L1"));
+        assert!(s.contains("2ms"));
+    }
+}

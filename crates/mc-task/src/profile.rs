@@ -1,0 +1,219 @@
+//! Measured execution-time profiles.
+//!
+//! The paper's scheme consumes, for each high-criticality task, the empirical
+//! mean execution time (ACET, Eq. 3), the population standard deviation
+//! (Eq. 4) and the statically-analysed pessimistic WCET. An
+//! [`ExecutionProfile`] bundles exactly those three numbers, all in
+//! nanoseconds (the workspace convention is a 1 GHz platform, so one cycle
+//! equals one nanosecond).
+
+use crate::TaskError;
+use mc_stats::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// The execution-time statistics of a task, in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use mc_task::profile::ExecutionProfile;
+///
+/// # fn main() -> Result<(), mc_task::TaskError> {
+/// let p = ExecutionProfile::new(1_000.0, 100.0, 5_000.0)?;
+/// // Optimistic WCET candidate at n = 3 (paper Eq. 6):
+/// assert_eq!(p.level(3.0), 1_300.0);
+/// // Largest n that still respects C_LO ≤ WCET_pes (paper Eq. 9):
+/// assert_eq!(p.max_factor(), 40.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    acet: f64,
+    sigma: f64,
+    wcet_pes: f64,
+}
+
+impl ExecutionProfile {
+    /// Creates a profile from an average-case execution time `acet`, a
+    /// standard deviation `sigma` and a pessimistic WCET `wcet_pes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidProfile`] unless
+    /// `0 < acet ≤ wcet_pes`, `sigma ≥ 0`, and all values are finite.
+    pub fn new(acet: f64, sigma: f64, wcet_pes: f64) -> Result<Self, TaskError> {
+        if !acet.is_finite() || !sigma.is_finite() || !wcet_pes.is_finite() {
+            return Err(TaskError::InvalidProfile {
+                reason: "profile values must be finite",
+            });
+        }
+        if acet <= 0.0 {
+            return Err(TaskError::InvalidProfile {
+                reason: "acet must be strictly positive",
+            });
+        }
+        if sigma < 0.0 {
+            return Err(TaskError::InvalidProfile {
+                reason: "sigma must be non-negative",
+            });
+        }
+        if wcet_pes < acet {
+            return Err(TaskError::InvalidProfile {
+                reason: "wcet_pes must be at least acet",
+            });
+        }
+        Ok(ExecutionProfile {
+            acet,
+            sigma,
+            wcet_pes,
+        })
+    }
+
+    /// Builds a profile from a measured [`Summary`] and a pessimistic WCET
+    /// obtained from static analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutionProfile::new`].
+    pub fn from_summary(summary: &Summary, wcet_pes: f64) -> Result<Self, TaskError> {
+        ExecutionProfile::new(summary.mean(), summary.std_dev(), wcet_pes)
+    }
+
+    /// Average-case execution time in nanoseconds.
+    pub fn acet(&self) -> f64 {
+        self.acet
+    }
+
+    /// Population standard deviation of the execution time in nanoseconds.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Pessimistic (HI-mode) WCET in nanoseconds.
+    pub fn wcet_pes(&self) -> f64 {
+        self.wcet_pes
+    }
+
+    /// The candidate optimistic WCET `ACET + n·σ` (paper Eq. 6).
+    pub fn level(&self, n: f64) -> f64 {
+        self.acet + n * self.sigma
+    }
+
+    /// The largest Chebyshev factor `n` that keeps the optimistic WCET at or
+    /// below the pessimistic one (paper Eq. 9): `(WCET_pes − ACET)/σ`.
+    ///
+    /// Returns `f64::INFINITY` when `sigma` is zero (a constant-time task
+    /// never violates Eq. 9).
+    pub fn max_factor(&self) -> f64 {
+        if self.sigma == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.wcet_pes - self.acet) / self.sigma
+        }
+    }
+
+    /// Ratio of pessimistic WCET to ACET — the "gap" the paper's motivation
+    /// section highlights (8.1× to 59× for qsort).
+    pub fn wcet_ratio(&self) -> f64 {
+        self.wcet_pes / self.acet
+    }
+
+    /// Clamps a candidate factor into `[0, max_factor]` so that Eq. 9 holds.
+    pub fn clamp_factor(&self, n: f64) -> f64 {
+        n.clamp(0.0, self.max_factor())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_domain() {
+        assert!(ExecutionProfile::new(0.0, 1.0, 10.0).is_err());
+        assert!(ExecutionProfile::new(-1.0, 1.0, 10.0).is_err());
+        assert!(ExecutionProfile::new(5.0, -0.1, 10.0).is_err());
+        assert!(ExecutionProfile::new(5.0, 1.0, 4.0).is_err());
+        assert!(ExecutionProfile::new(f64::NAN, 1.0, 10.0).is_err());
+        assert!(ExecutionProfile::new(5.0, 1.0, f64::INFINITY).is_err());
+        assert!(ExecutionProfile::new(5.0, 0.0, 5.0).is_ok());
+    }
+
+    #[test]
+    fn level_matches_eq6() {
+        let p = ExecutionProfile::new(100.0, 10.0, 500.0).unwrap();
+        assert_eq!(p.level(0.0), 100.0);
+        assert_eq!(p.level(2.5), 125.0);
+    }
+
+    #[test]
+    fn max_factor_saturates_eq9() {
+        let p = ExecutionProfile::new(100.0, 10.0, 500.0).unwrap();
+        assert_eq!(p.max_factor(), 40.0);
+        // At the max factor the level equals the pessimistic WCET.
+        assert!((p.level(p.max_factor()) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sigma_gives_infinite_max_factor() {
+        let p = ExecutionProfile::new(100.0, 0.0, 500.0).unwrap();
+        assert_eq!(p.max_factor(), f64::INFINITY);
+        assert_eq!(p.level(1e9), 100.0);
+    }
+
+    #[test]
+    fn clamp_factor_respects_bounds() {
+        let p = ExecutionProfile::new(100.0, 10.0, 200.0).unwrap();
+        assert_eq!(p.clamp_factor(-5.0), 0.0);
+        assert_eq!(p.clamp_factor(3.0), 3.0);
+        assert_eq!(p.clamp_factor(100.0), 10.0);
+    }
+
+    #[test]
+    fn from_summary_uses_population_sigma() {
+        let s = mc_stats::summary::Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+            .unwrap();
+        let p = ExecutionProfile::from_summary(&s, 20.0).unwrap();
+        assert_eq!(p.acet(), 5.0);
+        assert_eq!(p.sigma(), 2.0);
+        assert_eq!(p.wcet_pes(), 20.0);
+    }
+
+    #[test]
+    fn wcet_ratio_reports_the_gap() {
+        let p = ExecutionProfile::new(230.0, 39.0, 1900.0).unwrap(); // qsort-10 (Table I)
+        assert!((p.wcet_ratio() - 8.26).abs() < 0.01);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn level_is_monotone_in_n(
+                acet in 1.0..1e6f64,
+                sigma in 0.0..1e5f64,
+                n1 in 0.0..100.0f64,
+                dn in 0.0..100.0f64,
+            ) {
+                let p = ExecutionProfile::new(acet, sigma, acet * 100.0 + 1e7).unwrap();
+                prop_assert!(p.level(n1 + dn) >= p.level(n1));
+            }
+
+            #[test]
+            fn clamped_level_never_exceeds_wcet_pes(
+                acet in 1.0..1e6f64,
+                sigma in 0.001..1e5f64,
+                gap in 0.0..1e6f64,
+                n in -10.0..1e4f64,
+            ) {
+                let p = ExecutionProfile::new(acet, sigma, acet + gap).unwrap();
+                let level = p.level(p.clamp_factor(n));
+                prop_assert!(level <= p.wcet_pes() + 1e-6);
+                prop_assert!(level >= p.acet() - 1e-9);
+            }
+        }
+    }
+}

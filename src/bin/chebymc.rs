@@ -1,0 +1,304 @@
+//! `chebymc` — command-line front end for the workspace.
+//!
+//! ```text
+//! chebymc generate --u 0.7 --seed 1 -o workload.json
+//! chebymc analyze  workload.json
+//! chebymc design   workload.json --seed 1 -o designed.json
+//! chebymc design   workload.json --uniform-n 5 -o designed.json
+//! chebymc simulate designed.json --seconds 60 --policy degrade:0.5 --model profile
+//! ```
+//!
+//! Workload files are the validated JSON format of
+//! [`mc_task::workload::Workload`].
+
+use chebymc::prelude::*;
+use chebymc::task::workload::Workload;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+chebymc — Chebyshev-based WCET assignment for mixed-criticality systems
+
+USAGE:
+  chebymc generate [--u <bound>] [--seed <n>] [--p-high <p>] [-o <file>]
+      Generate a synthetic dual-criticality workload (default --u 0.7).
+
+  chebymc analyze <workload.json>
+      Print design metrics (Eq. 8 schedulability, P_MS, max U_LC^LO).
+
+  chebymc design <workload.json> [--seed <n>] [--uniform-n <n>] [-o <file>]
+      Assign optimistic WCETs with the Chebyshev scheme (GA by default,
+      or one uniform factor with --uniform-n) and report the metrics.
+
+  chebymc simulate <workload.json> [--seconds <s>] [--seed <n>]
+                   [--policy drop|degrade:<f>] [--model profile|lo|hi|p:<prob>]
+      Run the discrete-event simulator and report runtime behaviour.
+
+  chebymc wcet <program.prog>
+      Statically analyse a program model written in the mc-exec DSL
+      (block/loop/if; see fixtures/*.prog) and print BCET/ACET/WCET.
+
+Workload files are validated JSON; see `chebymc generate` for a template.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(command) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "analyze" => cmd_analyze(rest),
+        "design" => cmd_design(rest),
+        "simulate" => cmd_simulate(rest),
+        "wcet" => cmd_wcet(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`").into()),
+    }
+}
+
+/// Pulls `--flag value` out of `args`, returning the remaining positional
+/// arguments.
+fn parse_flags(
+    args: &[String],
+    flags: &mut [(&str, &mut Option<String>)],
+) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut i = 0;
+    'outer: while i < args.len() {
+        for (name, slot) in flags.iter_mut() {
+            if args[i] == *name {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag {name} needs a value"))?;
+                **slot = Some(value.clone());
+                i += 2;
+                continue 'outer;
+            }
+        }
+        if args[i].starts_with('-') {
+            return Err(format!("unknown flag `{}`", args[i]).into());
+        }
+        positional.push(args[i].clone());
+        i += 1;
+    }
+    Ok(positional)
+}
+
+fn load_workload(path: &str) -> Result<Workload, Box<dyn std::error::Error>> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(Workload::load_json(&json)?)
+}
+
+fn write_or_print(out: Option<String>, json: &str) -> Result<(), Box<dyn std::error::Error>> {
+    match out {
+        Some(path) => {
+            std::fs::write(&path, json).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("written to {path}");
+            Ok(())
+        }
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+fn print_metrics(m: &DesignMetrics) {
+    println!("  U_HC^LO      = {:.4}", m.u_hc_lo);
+    println!("  U_HC^HI      = {:.4}", m.u_hc_hi);
+    println!("  U_LC^LO      = {:.4}", m.u_lc_lo);
+    println!("  P_MS bound   = {:.4}", m.p_ms);
+    println!("  max U_LC^LO  = {:.4}", m.max_u_lc_lo);
+    println!("  objective    = {:.4}", m.objective);
+    println!("  schedulable  = {}", m.schedulable);
+    for t in &m.per_task {
+        println!(
+            "    {}: C_LO = {:.3} ms, n = {:.2}, overrun bound = {:.4}",
+            t.id,
+            t.c_lo / 1e6,
+            t.factor,
+            t.overrun_bound
+        );
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut u, mut seed, mut p_high, mut out) = (None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--u", &mut u),
+            ("--seed", &mut seed),
+            ("--p-high", &mut p_high),
+            ("-o", &mut out),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]).into());
+    }
+    let u: f64 = u.as_deref().unwrap_or("0.7").parse()?;
+    let seed: u64 = seed.as_deref().unwrap_or("0").parse()?;
+    let mut cfg = GeneratorConfig::default();
+    if let Some(p) = p_high {
+        cfg.p_high = p.parse()?;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let ts = generate_mixed_taskset(u, &cfg, &mut rng)?;
+    let workload = Workload::new(
+        format!("synthetic-u{u}-seed{seed}"),
+        format!(
+            "synthetic dual-criticality workload, bound utilisation {u}, \
+             {} tasks ({} HC / {} LC), periods 100-900 ms, 1 GHz (1 cycle = 1 ns)",
+            ts.len(),
+            ts.hc_count(),
+            ts.lc_count()
+        ),
+        ts,
+    );
+    write_or_print(out, &workload.to_json()?)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let positional = parse_flags(args, &mut [])?;
+    let [path] = positional.as_slice() else {
+        return Err("analyze needs exactly one workload file".into());
+    };
+    let workload = load_workload(path)?;
+    println!(
+        "workload `{}`: {} tasks ({} HC / {} LC)",
+        workload.name,
+        workload.tasks.len(),
+        workload.tasks.hc_count(),
+        workload.tasks.lc_count()
+    );
+    let m = design_metrics(&workload.tasks)?;
+    print_metrics(&m);
+    let vd = edf_vd::analyze(&workload.tasks);
+    if let Some(x) = vd.x {
+        println!("  EDF-VD x     = {x:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_design(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut seed, mut uniform_n, mut out) = (None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--seed", &mut seed),
+            ("--uniform-n", &mut uniform_n),
+            ("-o", &mut out),
+        ],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err("design needs exactly one workload file".into());
+    };
+    let mut workload = load_workload(path)?;
+    let seed: u64 = seed.as_deref().unwrap_or("0").parse()?;
+    let report = match uniform_n {
+        Some(n) => {
+            let n: f64 = n.parse()?;
+            ChebyshevScheme::with_seed(seed).design_uniform(&mut workload.tasks, n)?
+        }
+        None => ChebyshevScheme::with_seed(seed).design(&mut workload.tasks)?,
+    };
+    println!("designed `{}`:", workload.name);
+    print_metrics(&report.metrics);
+    workload.description = format!(
+        "{} | designed by chebymc (seed {seed}, P_MS bound {:.4})",
+        workload.description, report.metrics.p_ms
+    );
+    if out.is_some() {
+        write_or_print(out, &workload.to_json()?)?;
+    }
+    Ok(())
+}
+
+fn cmd_wcet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let positional = parse_flags(args, &mut [])?;
+    let [path] = positional.as_slice() else {
+        return Err("wcet needs exactly one .prog file".into());
+    };
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let program = chebymc::exec::parse::parse_program(&src)?;
+    let report = chebymc::exec::wcet::analyze(&program)?;
+    println!("program `{path}`:");
+    println!("  basic blocks  = {}", report.block_count);
+    println!("  CFG nodes     = {}", report.cfg_node_count);
+    println!("  BCET          = {} cycles", report.bcet);
+    println!("  ACET estimate = {:.1} cycles", report.acet_estimate);
+    println!("  WCET          = {} cycles (tree and CFG analyses agree)", report.wcet);
+    println!("  WCET/ACET gap = {:.1}x", report.wcet_acet_ratio());
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut seconds, mut seed, mut policy, mut model) = (None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--seconds", &mut seconds),
+            ("--seed", &mut seed),
+            ("--policy", &mut policy),
+            ("--model", &mut model),
+        ],
+    )?;
+    let [path] = positional.as_slice() else {
+        return Err("simulate needs exactly one workload file".into());
+    };
+    let workload = load_workload(path)?;
+    let seconds: u64 = seconds.as_deref().unwrap_or("60").parse()?;
+    let seed: u64 = seed.as_deref().unwrap_or("0").parse()?;
+    let lc_policy = match policy.as_deref().unwrap_or("drop") {
+        "drop" => LcPolicy::DropAll,
+        s if s.starts_with("degrade:") => LcPolicy::Degrade(s["degrade:".len()..].parse()?),
+        other => return Err(format!("unknown policy `{other}`").into()),
+    };
+    let exec_model = match model.as_deref().unwrap_or("profile") {
+        "profile" => JobExecModel::Profile,
+        "lo" => JobExecModel::FullLoBudget,
+        "hi" => JobExecModel::FullHiBudget,
+        s if s.starts_with("p:") => {
+            JobExecModel::OverrunWithProbability(s["p:".len()..].parse()?)
+        }
+        other => return Err(format!("unknown execution model `{other}`").into()),
+    };
+    let cfg = SimConfig {
+        horizon: Duration::from_secs(seconds),
+        lc_policy,
+        exec_model,
+        x_factor: None,
+        release_jitter: Duration::ZERO,
+        seed,
+    };
+    let m = simulate(&workload.tasks, &cfg)?;
+    println!("simulated `{}` for {seconds} s:", workload.name);
+    println!("  jobs released        = {} HC + {} LC", m.hc_released, m.lc_released);
+    println!("  mode switches        = {}", m.mode_switches);
+    println!("  HC deadline misses   = {}", m.hc_deadline_misses);
+    println!("  LC deadline misses   = {}", m.lc_deadline_misses);
+    println!("  LC lost to HI mode   = {}", m.lc_lost());
+    println!("  LC degraded          = {}", m.lc_degraded);
+    println!("  time in HI mode      = {:.2} %", m.hi_fraction() * 100.0);
+    println!("  processor busy       = {:.2} %", m.utilization() * 100.0);
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests of the `chebymc` command-line binary: generate a
+//! workload file, analyze, design, and simulate it through real process
+//! invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn chebymc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chebymc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("chebymc-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = chebymc(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+    assert!(text.contains("simulate"));
+}
+
+#[test]
+fn missing_subcommand_fails_with_usage() {
+    let out = chebymc(&[]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = chebymc(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+}
+
+#[test]
+fn generate_analyze_design_simulate_pipeline() {
+    let raw = tmp("raw.json");
+    let designed = tmp("designed.json");
+
+    // generate
+    let out = chebymc(&[
+        "generate",
+        "--u",
+        "0.6",
+        "--seed",
+        "3",
+        "-o",
+        raw.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(raw.exists());
+
+    // analyze (pessimistic start: P_MS = 1 because C_LO = C_HI < ACET+nσ? no:
+    // C_LO = C_HI is the max level, bound < 1; just check the fields print).
+    let out = chebymc(&["analyze", raw.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P_MS bound"));
+    assert!(text.contains("schedulable"));
+
+    // design (GA) and write the designed workload.
+    let out = chebymc(&[
+        "design",
+        raw.to_str().unwrap(),
+        "--seed",
+        "1",
+        "-o",
+        designed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("schedulable  = true"), "{text}");
+    assert!(designed.exists());
+
+    // The designed file re-loads as a valid workload with lower U_HC^LO.
+    let designed_json = std::fs::read_to_string(&designed).unwrap();
+    let w = chebymc::task::workload::Workload::load_json(&designed_json).unwrap();
+    assert!(w.tasks.u_hc_lo() < w.tasks.u_hc_hi());
+
+    // simulate the designed system.
+    let out = chebymc(&[
+        "simulate",
+        designed.to_str().unwrap(),
+        "--seconds",
+        "10",
+        "--policy",
+        "degrade:0.5",
+        "--model",
+        "profile",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("HC deadline misses   = 0"), "{text}");
+
+    let _ = std::fs::remove_file(&raw);
+    let _ = std::fs::remove_file(&designed);
+}
+
+#[test]
+fn design_uniform_n_reports_factor() {
+    let raw = tmp("uniform.json");
+    let out = chebymc(&[
+        "generate",
+        "--u",
+        "0.5",
+        "--seed",
+        "9",
+        "-o",
+        raw.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = chebymc(&["design", raw.to_str().unwrap(), "--uniform-n", "4"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("n = 4.00"), "{text}");
+    let _ = std::fs::remove_file(&raw);
+}
+
+#[test]
+fn design_handles_lc_only_workloads() {
+    // A workload with no HC tasks has the trivial design (empty factor
+    // vector); the CLI must not crash on it.
+    let path = tmp("lc-only.json");
+    let out = chebymc(&[
+        "generate",
+        "--u",
+        "0.4",
+        "--seed",
+        "5",
+        "--p-high",
+        "0.0",
+        "-o",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = chebymc(&["design", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P_MS bound   = 0.0000"), "{text}");
+    assert!(text.contains("schedulable  = true"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn simulate_rejects_bad_flags() {
+    let raw = tmp("badflags.json");
+    let out = chebymc(&["generate", "-o", raw.to_str().unwrap()]);
+    assert!(out.status.success());
+    let out = chebymc(&["simulate", raw.to_str().unwrap(), "--policy", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown policy"));
+    let out = chebymc(&["simulate", raw.to_str().unwrap(), "--model", "warp"]);
+    assert!(!out.status.success());
+    let out = chebymc(&["analyze"]);
+    assert!(!out.status.success());
+    let out = chebymc(&["analyze", "/nonexistent/definitely-missing.json"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    let _ = std::fs::remove_file(&raw);
+}
