@@ -72,14 +72,19 @@ fn bench_multi_level(c: &mut Criterion) {
     let ms = Duration::from_millis;
     let mut ts = MultiTaskSet::new(3).unwrap();
     ts.push(
-        MultiTask::new(TaskId::new(0), "a", 2, vec![ms(5), ms(10), ms(40)], ms(100), None)
-            .unwrap(),
+        MultiTask::new(
+            TaskId::new(0),
+            "a",
+            2,
+            vec![ms(5), ms(10), ms(40)],
+            ms(100),
+            None,
+        )
+        .unwrap(),
     )
     .unwrap();
-    ts.push(
-        MultiTask::new(TaskId::new(1), "b", 1, vec![ms(10), ms(20)], ms(100), None).unwrap(),
-    )
-    .unwrap();
+    ts.push(MultiTask::new(TaskId::new(1), "b", 1, vec![ms(10), ms(20)], ms(100), None).unwrap())
+        .unwrap();
     ts.push(MultiTask::new(TaskId::new(2), "c", 0, vec![ms(20)], ms(100), None).unwrap())
         .unwrap();
     let cfg = MultiSimConfig {
@@ -92,5 +97,10 @@ fn bench_multi_level(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_exec_models, bench_lc_policies, bench_multi_level);
+criterion_group!(
+    benches,
+    bench_exec_models,
+    bench_lc_policies,
+    bench_multi_level
+);
 criterion_main!(benches);

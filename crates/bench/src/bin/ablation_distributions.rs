@@ -22,9 +22,18 @@ fn families() -> Vec<(&'static str, Dist)> {
     let sd = 1.0e5;
     vec![
         ("normal", Dist::normal(mean, sd).unwrap()),
-        ("gumbel (right-skew)", Dist::gumbel_from_moments(mean, sd).unwrap()),
-        ("gumbel-min (left-skew)", Dist::gumbel_min_from_moments(mean, sd).unwrap()),
-        ("lognormal", Dist::log_normal_from_moments(mean, sd).unwrap()),
+        (
+            "gumbel (right-skew)",
+            Dist::gumbel_from_moments(mean, sd).unwrap(),
+        ),
+        (
+            "gumbel-min (left-skew)",
+            Dist::gumbel_min_from_moments(mean, sd).unwrap(),
+        ),
+        (
+            "lognormal",
+            Dist::log_normal_from_moments(mean, sd).unwrap(),
+        ),
         ("weibull k=1.5", {
             // Scale Weibull to the same mean; its σ differs — that is the
             // point: levels are taken from *measured* moments either way.
@@ -49,7 +58,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          across execution-time distribution families ({count} samples each)\n"
     );
     let mut table = Table::new([
-        "family", "n=1 meas%", "n=1 bound%", "n=2 meas%", "n=2 bound%", "n=3 meas%",
+        "family",
+        "n=1 meas%",
+        "n=1 bound%",
+        "n=2 meas%",
+        "n=2 bound%",
+        "n=3 meas%",
         "n=3 bound%",
     ]);
     for (i, (name, dist)) in families().into_iter().enumerate() {
@@ -73,7 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("EVT (Gumbel block-maxima, block 50) vs Chebyshev at equal risk p = 1/(1+n²):\n");
     let mut evt_table = Table::new([
-        "family", "n", "chebyshev level", "evt level", "evt/chebyshev",
+        "family",
+        "n",
+        "chebyshev level",
+        "evt level",
+        "evt/chebyshev",
     ]);
     for (i, (name, dist)) in families().into_iter().enumerate() {
         let samples = dist.sample_vec(&mut StdRng::seed_from_u64(40 + i as u64), count);

@@ -16,7 +16,12 @@ use std::time::Instant;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ablation — optimiser choice on the Eq. 13 objective\n");
     let mut table = Table::new([
-        "tasks", "U_HC^HI", "solver", "objective", "vs best", "time (ms)",
+        "tasks",
+        "U_HC^HI",
+        "solver",
+        "objective",
+        "vs best",
+        "time (ms)",
     ]);
     // Small sets admit exhaustive ground truth; larger ones compare the
     // randomized solvers only.
@@ -47,8 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &bounds,
             |c| problem.objective(c).fitness,
             &SaConfig {
-                iterations: GaConfig::default().population_size
-                    * GaConfig::default().generations,
+                iterations: GaConfig::default().population_size * GaConfig::default().generations,
                 ..SaConfig::default()
             },
         )?;

@@ -10,9 +10,7 @@ use mc_stats::chebyshev::one_sided_bound;
 use mc_stats::summary::Summary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!(
-        "Ablation — σ estimator and trace length (benchmark: corner; n = 3)\n"
-    );
+    println!("Ablation — σ estimator and trace length (benchmark: corner; n = 3)\n");
     let bench = benchmarks::corner()?;
     let n = 3.0;
     let mut table = Table::new([

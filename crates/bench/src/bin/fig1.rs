@@ -14,9 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = bench.sample_trace(samples, 1)?;
     let summary = trace.summary()?;
 
-    println!(
-        "Fig. 1 — execution-time distribution of `{name}` ({samples} instances)\n"
-    );
+    println!("Fig. 1 — execution-time distribution of `{name}` ({samples} instances)\n");
     // Bins cover the sampled range; the WCET sits far off to the right.
     let hist = trace.histogram(40)?;
     print!("{}", hist.to_ascii(60));
@@ -24,15 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ACET      = {:>14.0} cycles", summary.mean());
     println!("sigma     = {:>14.0} cycles", summary.std_dev());
     println!("max seen  = {:>14.0} cycles", summary.max());
-    println!("WCET_pes  = {:>14.0} cycles (static analysis)", bench.spec().wcet_pes);
+    println!(
+        "WCET_pes  = {:>14.0} cycles (static analysis)",
+        bench.spec().wcet_pes
+    );
     println!(
         "gap       = {:>13.1}x  (WCET_pes / ACET — the paper's motivation)",
         bench.spec().wcet_pes / summary.mean()
     );
+    println!("\nNote how the mass concentrates within a few sigma of the ACET while the");
     println!(
-        "\nNote how the mass concentrates within a few sigma of the ACET while the"
+        "analysed WCET lies {:.0} sigma above it.",
+        (bench.spec().wcet_pes - summary.mean()) / summary.std_dev()
     );
-    println!("analysed WCET lies {:.0} sigma above it.",
-        (bench.spec().wcet_pes - summary.mean()) / summary.std_dev());
     Ok(())
 }

@@ -33,8 +33,15 @@ fn random_tri_level(seed: u64, per_task_u_top: f64, tasks: usize) -> MultiTaskSe
         };
         let budgets = vec![top; level + 1];
         ts.push(
-            MultiTask::new(TaskId::new(i as u32), format!("t{i}"), level, budgets, period, profile)
-                .unwrap(),
+            MultiTask::new(
+                TaskId::new(i as u32),
+                format!("t{i}"),
+                level,
+                budgets,
+                period,
+                profile,
+            )
+            .unwrap(),
         )
         .unwrap();
     }
@@ -45,7 +52,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Multi-level extension — per-mode uniform factor sweep (3 levels)\n");
     let base = random_tri_level(42, 0.12, 9);
     let mut table = Table::new([
-        "n0", "n1", "P(esc mode0) %", "P(esc mode1) %", "P(top) %", "maxU_L0 %", "sched",
+        "n0",
+        "n1",
+        "P(esc mode0) %",
+        "P(esc mode1) %",
+        "P(top) %",
+        "maxU_L0 %",
+        "sched",
     ]);
     for &(n0, n1) in &[
         (1.0, 2.0),

@@ -48,10 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             WcetPolicy::ChebyshevUniform { n: 2.0 }.assign(&mut tight)?;
             let tight_bound = chebymc_core::metrics::design_metrics(&tight)?.p_ms;
             let mut lam = base.clone();
-            WcetPolicy::LambdaFraction {
-                lambda: 1.0 / 32.0,
-            }
-            .assign(&mut lam)?;
+            WcetPolicy::LambdaFraction { lambda: 1.0 / 32.0 }.assign(&mut lam)?;
 
             for (name, ts, bound) in [
                 ("chebyshev-ga", &cheb, report.metrics.p_ms),

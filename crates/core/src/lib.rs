@@ -72,6 +72,9 @@ pub enum CoreError {
     Opt(mc_opt::OptError),
     /// A scheduling/simulation error.
     Sched(mc_sched::SchedError),
+    /// An input failed static analysis; the report carries every finding,
+    /// not just the first.
+    Lint(mc_lint::LintReport),
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +87,19 @@ impl fmt::Display for CoreError {
             CoreError::Task(e) => write!(f, "task error: {e}"),
             CoreError::Opt(e) => write!(f, "optimiser error: {e}"),
             CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+            CoreError::Lint(report) => {
+                let first = report
+                    .iter()
+                    .find(|d| d.severity == mc_lint::Severity::Error);
+                match first {
+                    Some(d) => write!(
+                        f,
+                        "lint failed with {} error(s), first: {d}",
+                        report.count(mc_lint::Severity::Error),
+                    ),
+                    None => write!(f, "lint failed"),
+                }
+            }
         }
     }
 }
@@ -117,6 +133,26 @@ impl From<mc_sched::SchedError> for CoreError {
     }
 }
 
+impl From<mc_lint::LintReport> for CoreError {
+    fn from(report: mc_lint::LintReport) -> Self {
+        CoreError::Lint(report)
+    }
+}
+
+/// Fails with [`CoreError::Lint`] when the report contains errors;
+/// warnings and infos pass through silently.
+///
+/// # Errors
+///
+/// Returns the full report so callers can render every finding.
+pub fn fail_on_lint_errors(report: mc_lint::LintReport) -> Result<(), CoreError> {
+    if report.has_errors() {
+        Err(CoreError::Lint(report))
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +175,20 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e: CoreError = mc_sched::SchedError::EmptyTaskSet.into();
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn lint_errors_surface_the_first_finding() {
+        let mut report = mc_lint::LintReport::new();
+        report.push(mc_lint::Diagnostic::new(
+            mc_lint::Code::T001,
+            "task τ0",
+            "C_LO exceeds C_HI",
+        ));
+        let e: CoreError = report.clone().into();
+        assert!(e.to_string().contains("T001"), "{e}");
+        assert!(fail_on_lint_errors(report).is_err());
+        assert!(fail_on_lint_errors(mc_lint::LintReport::new()).is_ok());
     }
 
     #[test]

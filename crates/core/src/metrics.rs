@@ -52,12 +52,7 @@ pub struct DesignMetrics {
 }
 
 /// The implied factor and overrun bound for one assignment.
-fn task_design(
-    id: TaskId,
-    c_lo: f64,
-    acet: f64,
-    sigma: f64,
-) -> TaskDesign {
+fn task_design(id: TaskId, c_lo: f64, acet: f64, sigma: f64) -> TaskDesign {
     let (factor, overrun_bound) = if sigma == 0.0 {
         if c_lo >= acet {
             (f64::INFINITY, 0.0)
@@ -195,8 +190,7 @@ mod tests {
     #[test]
     fn multiple_tasks_compose_eq10() {
         // Two tasks at n = 2 each: P_MS = 1 − 0.8² = 0.36.
-        let ts =
-            TaskSet::from_tasks(vec![hc_with_budget(0, 5), hc_with_budget(1, 5)]).unwrap();
+        let ts = TaskSet::from_tasks(vec![hc_with_budget(0, 5), hc_with_budget(1, 5)]).unwrap();
         let m = design_metrics(&ts).unwrap();
         assert!((m.p_ms - 0.36).abs() < 1e-9);
         assert!((m.u_hc_lo - 0.1).abs() < 1e-9);

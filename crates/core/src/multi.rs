@@ -128,10 +128,7 @@ impl MultiScheme {
             assignments.push((idx, lower));
         }
         for (idx, lower) in assignments {
-            let task = ts
-                .iter_mut()
-                .nth(idx)
-                .expect("index from enumeration");
+            let task = ts.iter_mut().nth(idx).expect("index from enumeration");
             task.set_lower_budgets(&lower).map_err(CoreError::Task)?;
         }
         Ok(())
@@ -176,9 +173,7 @@ impl MultiScheme {
         }
         let p_reach_top = escalation_bounds.iter().product();
         let analysis = analyze(ts);
-        let (u_hc_lo, u_hc_hi, _) = ts
-            .reduce_to_dual(0)
-            .map_err(CoreError::Task)?;
+        let (u_hc_lo, u_hc_hi, _) = ts.reduce_to_dual(0).map_err(CoreError::Task)?;
         let max_u_lowest = edf_vd::max_u_lc_lo(u_hc_lo, u_hc_hi);
         let p0 = escalation_bounds.first().copied().unwrap_or(0.0);
         let objective = if analysis.schedulable {
@@ -203,10 +198,7 @@ impl MultiScheme {
     /// Propagates assignment/metrics errors and GA configuration errors.
     pub fn design(&self, ts: &mut MultiTaskSet) -> Result<MultiDesignReport, CoreError> {
         let genes = ts.levels() - 1;
-        let bounds = vec![
-            GeneBounds::new(0.0, self.factor_cap).map_err(CoreError::Opt)?;
-            genes
-        ];
+        let bounds = vec![GeneBounds::new(0.0, self.factor_cap).map_err(CoreError::Opt)?; genes];
         let fitness = |factors: &[f64]| -> f64 {
             let mut candidate = ts.clone();
             match self.assign(&mut candidate, factors) {
@@ -244,7 +236,14 @@ mod tests {
     }
 
     /// Builds a profiled task: ACET/σ in ms, top budget = wcet ms.
-    fn profiled(id: u32, level: usize, acet_ms: f64, sigma_ms: f64, wcet_ms: u64, p_ms: u64) -> MultiTask {
+    fn profiled(
+        id: u32,
+        level: usize,
+        acet_ms: f64,
+        sigma_ms: f64,
+        wcet_ms: u64,
+        p_ms: u64,
+    ) -> MultiTask {
         let budgets: Vec<Duration> = (0..=level).map(|_| ms(wcet_ms)).collect();
         MultiTask::new(
             TaskId::new(id),
@@ -252,7 +251,9 @@ mod tests {
             level,
             budgets,
             ms(p_ms),
-            Some(ExecutionProfile::new(acet_ms * 1e6, sigma_ms * 1e6, wcet_ms as f64 * 1e6).unwrap()),
+            Some(
+                ExecutionProfile::new(acet_ms * 1e6, sigma_ms * 1e6, wcet_ms as f64 * 1e6).unwrap(),
+            ),
         )
         .unwrap()
     }
@@ -327,9 +328,13 @@ mod tests {
     #[test]
     fn higher_factors_lower_escalation_bounds() {
         let mut low = tri_level();
-        MultiScheme::default().assign(&mut low, &[1.0, 2.0]).unwrap();
+        MultiScheme::default()
+            .assign(&mut low, &[1.0, 2.0])
+            .unwrap();
         let mut high = tri_level();
-        MultiScheme::default().assign(&mut high, &[4.0, 8.0]).unwrap();
+        MultiScheme::default()
+            .assign(&mut high, &[4.0, 8.0])
+            .unwrap();
         let ml = MultiScheme::metrics(&low).unwrap();
         let mh = MultiScheme::metrics(&high).unwrap();
         for (a, b) in mh.escalation_bounds.iter().zip(&ml.escalation_bounds) {
@@ -350,7 +355,11 @@ mod tests {
         let report = MultiScheme::with_seed(1).design(&mut ts).unwrap();
         assert_eq!(report.factors.len(), 1);
         assert!(report.metrics.analysis.schedulable);
-        assert!(report.metrics.objective > 0.5, "objective {}", report.metrics.objective);
+        assert!(
+            report.metrics.objective > 0.5,
+            "objective {}",
+            report.metrics.objective
+        );
     }
 
     #[test]

@@ -50,17 +50,16 @@ impl BatchConfig {
                 reason: "batch needs at least one task set",
             });
         }
-        self.generator
-            .validate()
-            .map_err(CoreError::Task)?;
-        Ok(())
+        // The lint pass reports every bad generator range at once, where
+        // `GeneratorConfig::validate` stops at the first.
+        crate::fail_on_lint_errors(mc_lint::lint_generator_config(&self.generator))
     }
 
     fn set_seed(&self, point: usize, set: usize) -> u64 {
         // SplitMix-style mixing keeps streams independent across points.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + point as u64 * 65_537 + set as u64));
+        let mut z = self.seed.wrapping_add(
+            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + point as u64 * 65_537 + set as u64),
+        );
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -103,6 +102,18 @@ where
         .into_iter()
         .map(|r| r.expect("every slot is written by its worker"))
         .collect()
+}
+
+/// Fail-fast static analysis of a policy's embedded configuration, so a
+/// misconfigured GA surfaces before the batch starts rather than once per
+/// generated task set.
+fn lint_policy(policy: &WcetPolicy) -> Result<(), CoreError> {
+    if let WcetPolicy::ChebyshevGa { ga, problem } = policy {
+        let mut lint = mc_lint::lint_ga_config(ga);
+        lint.merge(mc_lint::lint_problem_config(problem));
+        crate::fail_on_lint_errors(lint)?;
+    }
+    Ok(())
 }
 
 /// Re-seeds a policy's internal randomness so every task set in a batch
@@ -148,6 +159,7 @@ pub fn evaluate_policy_over_utilization(
     batch: &BatchConfig,
 ) -> Result<Vec<PolicyPoint>, CoreError> {
     batch.validate()?;
+    lint_policy(policy)?;
     if u_values.is_empty() {
         return Err(CoreError::InvalidPolicy {
             reason: "at least one utilisation point is required",
@@ -158,8 +170,8 @@ pub fn evaluate_policy_over_utilization(
         let per_set = map_sets(batch, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ts = generate_hc_taskset(u, &batch.generator, &mut rng)
-                .map_err(CoreError::Task)?;
+            let mut ts =
+                generate_hc_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?;
             reseed(policy, seed).assign(&mut ts)?;
             let m = design_metrics(&ts)?;
             Ok((m.p_ms, m.max_u_lc_lo, m.objective))
@@ -195,9 +207,7 @@ impl SchedulingApproach {
     pub fn schedulable(&self, ts: &mc_task::TaskSet) -> bool {
         match self {
             SchedulingApproach::BaruahDropAll => edf_vd::analyze(ts).schedulable,
-            SchedulingApproach::LiuDegrade { fraction } => {
-                liu::analyze(ts, *fraction).schedulable
-            }
+            SchedulingApproach::LiuDegrade { fraction } => liu::analyze(ts, *fraction).schedulable,
         }
     }
 }
@@ -224,6 +234,7 @@ pub fn acceptance_ratio(
     batch: &BatchConfig,
 ) -> Result<Vec<AcceptancePoint>, CoreError> {
     batch.validate()?;
+    lint_policy(policy)?;
     if u_bounds.is_empty() {
         return Err(CoreError::InvalidPolicy {
             reason: "at least one utilisation point is required",
@@ -241,8 +252,8 @@ pub fn acceptance_ratio(
         let verdicts = map_sets(batch, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ts = generate_mixed_taskset(u, &batch.generator, &mut rng)
-                .map_err(CoreError::Task)?;
+            let mut ts =
+                generate_mixed_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?;
             reseed(policy, seed).assign(&mut ts)?;
             Ok(approach.schedulable(&ts))
         })?;
@@ -274,6 +285,9 @@ pub fn acceptance_ratio_lo_bounded(
     batch: &BatchConfig,
 ) -> Result<Vec<AcceptancePoint>, CoreError> {
     batch.validate()?;
+    if let Some(policy) = scheme {
+        lint_policy(policy)?;
+    }
     if u_bounds.is_empty() {
         return Err(CoreError::InvalidPolicy {
             reason: "at least one utilisation point is required",
@@ -284,9 +298,8 @@ pub fn acceptance_ratio_lo_bounded(
         let verdicts = map_sets(batch, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ts =
-                generate_lo_bounded_taskset(u, lambda_range, &batch.generator, &mut rng)
-                    .map_err(CoreError::Task)?;
+            let mut ts = generate_lo_bounded_taskset(u, lambda_range, &batch.generator, &mut rng)
+                .map_err(CoreError::Task)?;
             if let Some(policy) = scheme {
                 reseed(policy, seed).assign(&mut ts)?;
             }
@@ -328,8 +341,7 @@ mod tests {
         assert_eq!(a, b);
         let ra =
             acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &single).unwrap();
-        let rb =
-            acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &many).unwrap();
+        let rb = acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &many).unwrap();
         assert_eq!(ra, rb);
     }
 
@@ -495,11 +507,65 @@ mod tests {
             lambda_min: 0.125,
             seed: 0,
         };
-        let a = acceptance_ratio(&[0.7], &policy, SchedulingApproach::BaruahDropAll, &batch)
-            .unwrap();
-        let b = acceptance_ratio(&[0.7], &policy, SchedulingApproach::BaruahDropAll, &batch)
-            .unwrap();
+        let a =
+            acceptance_ratio(&[0.7], &policy, SchedulingApproach::BaruahDropAll, &batch).unwrap();
+        let b =
+            acceptance_ratio(&[0.7], &policy, SchedulingApproach::BaruahDropAll, &batch).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn misconfigured_ga_policy_fails_fast_with_a_lint_report() {
+        let bad = WcetPolicy::ChebyshevGa {
+            ga: GaConfig {
+                generations: 0,
+                tournament_size: 0,
+                ..GaConfig::default()
+            },
+            problem: ProblemConfig::default(),
+        };
+        let err = evaluate_policy_over_utilization(&[0.5], &bad, &small_batch()).unwrap_err();
+        match err {
+            CoreError::Lint(report) => {
+                // Both violations in one report, not just the first.
+                assert_eq!(report.count(mc_lint::Severity::Error), 2);
+            }
+            other => panic!("expected CoreError::Lint, got {other:?}"),
+        }
+        assert!(acceptance_ratio(
+            &[0.5],
+            &bad,
+            SchedulingApproach::BaruahDropAll,
+            &small_batch()
+        )
+        .is_err());
+        assert!(acceptance_ratio_lo_bounded(
+            &[0.5],
+            Some(&bad),
+            SchedulingApproach::BaruahDropAll,
+            (0.25, 1.0),
+            &small_batch()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_generator_config_reports_every_violation() {
+        let batch = BatchConfig {
+            generator: GeneratorConfig {
+                period_ms: (0, 10),
+                p_high: 2.0,
+                ..GeneratorConfig::default()
+            },
+            ..small_batch()
+        };
+        let err = evaluate_policy_over_utilization(&[0.5], &WcetPolicy::Acet, &batch).unwrap_err();
+        match err {
+            CoreError::Lint(report) => {
+                assert_eq!(report.count(mc_lint::Severity::Error), 2)
+            }
+            other => panic!("expected CoreError::Lint, got {other:?}"),
+        }
     }
 
     #[test]
@@ -517,8 +583,6 @@ mod tests {
             task_sets: 0,
             ..batch
         };
-        assert!(
-            evaluate_policy_over_utilization(&[0.5], &WcetPolicy::Acet, &bad_batch).is_err()
-        );
+        assert!(evaluate_policy_over_utilization(&[0.5], &WcetPolicy::Acet, &bad_batch).is_err());
     }
 }

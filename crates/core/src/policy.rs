@@ -144,9 +144,7 @@ fn assign_chebyshev_uniform(ts: &mut TaskSet, n: f64) -> Result<(), CoreError> {
     let ids: Vec<_> = ts.hc_tasks().map(|t| t.id()).collect();
     for id in ids {
         let task = ts.get_mut(id).expect("id from iteration");
-        let profile = *task
-            .profile()
-            .ok_or(CoreError::MissingProfile { id })?;
+        let profile = *task.profile().ok_or(CoreError::MissingProfile { id })?;
         let level = profile.level(profile.clamp_factor(n));
         let c_lo = Duration::try_from_nanos_f64_ceil(level)
             .unwrap_or(task.c_hi())
@@ -157,8 +155,7 @@ fn assign_chebyshev_uniform(ts: &mut TaskSet, n: f64) -> Result<(), CoreError> {
 }
 
 fn lambda_budget(c_hi: Duration, lambda: f64) -> Duration {
-    c_hi.mul_f64(lambda)
-        .clamp(Duration::from_nanos(1), c_hi)
+    c_hi.mul_f64(lambda).clamp(Duration::from_nanos(1), c_hi)
 }
 
 /// The λ values the paper's Fig. 4 compares against (from its refs.
@@ -317,9 +314,15 @@ mod tests {
     #[test]
     fn policies_validate_parameters() {
         let mut ts = sample_set();
-        assert!(WcetPolicy::ChebyshevUniform { n: -1.0 }.assign(&mut ts).is_err());
-        assert!(WcetPolicy::LambdaFraction { lambda: 0.0 }.assign(&mut ts).is_err());
-        assert!(WcetPolicy::LambdaFraction { lambda: 1.5 }.assign(&mut ts).is_err());
+        assert!(WcetPolicy::ChebyshevUniform { n: -1.0 }
+            .assign(&mut ts)
+            .is_err());
+        assert!(WcetPolicy::LambdaFraction { lambda: 0.0 }
+            .assign(&mut ts)
+            .is_err());
+        assert!(WcetPolicy::LambdaFraction { lambda: 1.5 }
+            .assign(&mut ts)
+            .is_err());
         assert!(WcetPolicy::LambdaRange {
             lambda_min: 0.0,
             seed: 0
@@ -354,7 +357,10 @@ mod tests {
     #[test]
     fn policy_names_are_stable() {
         assert_eq!(WcetPolicy::Acet.name(), "acet");
-        assert_eq!(WcetPolicy::ChebyshevUniform { n: 5.0 }.name(), "chebyshev-n5");
+        assert_eq!(
+            WcetPolicy::ChebyshevUniform { n: 5.0 }.name(),
+            "chebyshev-n5"
+        );
         assert_eq!(
             WcetPolicy::LambdaFraction { lambda: 0.25 }.name(),
             "lambda-0.2500"

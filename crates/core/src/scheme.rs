@@ -69,12 +69,20 @@ impl ChebyshevScheme {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::MissingProfile`] when an HC task lacks an
+    /// Returns [`CoreError::Lint`] when the task set or the GA/problem
+    /// configuration fails static analysis (every finding reported at
+    /// once), [`CoreError::MissingProfile`] when an HC task lacks an
     /// execution profile, and propagates optimiser errors.
     pub fn design(&self, ts: &mut TaskSet) -> Result<DesignReport, CoreError> {
+        let mut lint = mc_lint::lint_ga_config(&self.ga);
+        lint.merge(mc_lint::lint_problem_config(&self.problem));
+        lint.merge(mc_lint::lint_taskset(ts));
+        crate::fail_on_lint_errors(lint)?;
         let problem = WcetProblem::from_taskset(ts, self.problem).map_err(CoreError::Opt)?;
         let solution = problem.solve_ga(&self.ga).map_err(CoreError::Opt)?;
-        problem.apply(ts, &solution.factors).map_err(CoreError::Opt)?;
+        problem
+            .apply(ts, &solution.factors)
+            .map_err(CoreError::Opt)?;
         let metrics = design_metrics(ts)?;
         Ok(DesignReport {
             factors: solution.factors,

@@ -154,11 +154,8 @@ fn qsort_dist(spec: &TableSpec) -> Result<Dist, ExecError> {
 /// a Gumbel-min bulk (95 %) centred slightly below the ACET and a tight
 /// normal cluster (5 %) at `ACET + 2.185σ`.
 fn image_dist(spec: &TableSpec) -> Result<Dist, ExecError> {
-    let bulk = Dist::gumbel_min_from_moments(
-        spec.acet - 0.1150 * spec.sigma,
-        0.8868 * spec.sigma,
-    )
-    .map_err(ExecError::Stats)?;
+    let bulk = Dist::gumbel_min_from_moments(spec.acet - 0.1150 * spec.sigma, 0.8868 * spec.sigma)
+        .map_err(ExecError::Stats)?;
     let cluster = Dist::normal(spec.acet + 2.185 * spec.sigma, 0.1774 * spec.sigma)
         .map_err(ExecError::Stats)?;
     Dist::mixture([(0.95, bulk), (0.05, cluster)])
@@ -173,8 +170,7 @@ fn qsort_program(k: u64, spec: &TableSpec) -> Program {
     let n = k * k;
     let cmp_cost = (spec.wcet_pes as u64) / n;
     let pad = spec.wcet_pes as u64 - n * cmp_cost;
-    let avg_inner = ((spec.acet - pad as f64) / (k as f64 * cmp_cost as f64))
-        .clamp(0.0, k as f64);
+    let avg_inner = ((spec.acet - pad as f64) / (k as f64 * cmp_cost as f64)).clamp(0.0, k as f64);
     Program::seq([
         Program::block("partition-setup", pad),
         Program::fixed_loop(
@@ -202,8 +198,7 @@ fn image_program(rows: u64, cols: u64, spec: &TableSpec) -> Program {
     let expensive = per_pixel - COND;
     let pad = spec.wcet_pes as u64 - pixels * per_pixel;
     let base = pad as f64 + pixels as f64 * (COND + CHEAP) as f64;
-    let p = ((spec.acet - base) / (pixels as f64 * (expensive - CHEAP) as f64))
-        .clamp(0.0, 1.0);
+    let p = ((spec.acet - base) / (pixels as f64 * (expensive - CHEAP) as f64)).clamp(0.0, 1.0);
     Program::seq([
         Program::block("frame-setup", pad),
         Program::fixed_loop(

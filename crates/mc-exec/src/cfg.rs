@@ -179,6 +179,73 @@ impl Cfg {
         Ok(self.nodes[node.0].cost)
     }
 
+    /// The entry block, if one has been set.
+    pub fn entry(&self) -> Option<NodeId> {
+        self.entry.map(NodeId)
+    }
+
+    /// The exit block, if one has been set.
+    pub fn exit(&self) -> Option<NodeId> {
+        self.exit.map(NodeId)
+    }
+
+    /// All node ids ever added, including collapsed (dead) ones.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Whether the block is still live (not collapsed away).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownNode`] when the node does not exist.
+    pub fn is_alive(&self, node: NodeId) -> Result<bool, ExecError> {
+        self.check(node)?;
+        Ok(self.nodes[node.0].alive)
+    }
+
+    /// The block's loop bound, if one has been set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownNode`] when the node does not exist.
+    pub fn loop_bound(&self, node: NodeId) -> Result<Option<u64>, ExecError> {
+        self.check(node)?;
+        Ok(self.nodes[node.0].loop_bound)
+    }
+
+    /// The block's successors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownNode`] when the node does not exist.
+    pub fn successors(&self, node: NodeId) -> Result<impl Iterator<Item = NodeId> + '_, ExecError> {
+        self.check(node)?;
+        Ok(self.succ[node.0].iter().copied().map(NodeId))
+    }
+
+    /// The block's predecessors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::UnknownNode`] when the node does not exist.
+    pub fn predecessors(
+        &self,
+        node: NodeId,
+    ) -> Result<impl Iterator<Item = NodeId> + '_, ExecError> {
+        self.check(node)?;
+        Ok(self.pred[node.0].iter().copied().map(NodeId))
+    }
+
+    /// Every directed edge in the graph, including edges incident to
+    /// collapsed nodes.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(from, tos)| tos.iter().map(move |&to| (NodeId(from), NodeId(to))))
+    }
+
     fn check(&self, node: NodeId) -> Result<(), ExecError> {
         if node.0 >= self.nodes.len() {
             return Err(ExecError::UnknownNode { index: node.0 });
@@ -367,8 +434,7 @@ impl Cfg {
     ) -> Result<Option<u64>, ExecError> {
         // Kahn topological sort over the induced subgraph.
         let n = self.nodes.len();
-        let is_banned =
-            |u: usize, v: usize| banned_edges.iter().any(|&(a, b)| a == u && b == v);
+        let is_banned = |u: usize, v: usize| banned_edges.iter().any(|&(a, b)| a == u && b == v);
         let mut indeg = vec![0usize; n];
         let mut members = Vec::new();
         for u in 0..n {
@@ -382,11 +448,8 @@ impl Cfg {
                 }
             }
         }
-        let mut queue: VecDeque<usize> = members
-            .iter()
-            .copied()
-            .filter(|&u| indeg[u] == 0)
-            .collect();
+        let mut queue: VecDeque<usize> =
+            members.iter().copied().filter(|&u| indeg[u] == 0).collect();
         let mut topo = Vec::with_capacity(members.len());
         while let Some(u) = queue.pop_front() {
             topo.push(u);
@@ -449,8 +512,11 @@ impl Cfg {
             // Innermost loop = the one with the fewest members.
             let mut chosen: Option<(usize, Vec<usize>, Vec<usize>)> = None;
             for &h in &headers {
-                let latches: Vec<usize> =
-                    backs.iter().filter(|&&(_, hh)| hh == h).map(|&(l, _)| l).collect();
+                let latches: Vec<usize> = backs
+                    .iter()
+                    .filter(|&&(_, hh)| hh == h)
+                    .map(|&(l, _)| l)
+                    .collect();
                 let members = work.natural_loop(h, &latches);
                 let smaller = chosen
                     .as_ref()
@@ -459,12 +525,10 @@ impl Cfg {
                     chosen = Some((h, latches, members));
                 }
             }
-            let (header, latches, members) =
-                chosen.expect("non-empty back edge set yields a loop");
+            let (header, latches, members) = chosen.expect("non-empty back edge set yields a loop");
             // The innermost loop must not contain another loop's header.
-            let inner_has_other_header = headers
-                .iter()
-                .any(|&h| h != header && members.contains(&h));
+            let inner_has_other_header =
+                headers.iter().any(|&h| h != header && members.contains(&h));
             if inner_has_other_header {
                 return Err(ExecError::IrreducibleCfg);
             }
@@ -477,8 +541,7 @@ impl Cfg {
             for &m in &members {
                 allowed[m] = true;
             }
-            let banned: Vec<(usize, usize)> =
-                latches.iter().map(|&l| (l, header)).collect();
+            let banned: Vec<(usize, usize)> = latches.iter().map(|&l| (l, header)).collect();
             let mut iter_cost = 0u64;
             for &latch in &latches {
                 if let Some(c) = work.dag_longest_path(header, latch, &allowed, &banned)? {

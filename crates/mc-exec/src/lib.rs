@@ -160,8 +160,12 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        assert!(ExecError::IrreducibleCfg.to_string().contains("irreducible"));
-        assert!(ExecError::UnknownNode { index: 3 }.to_string().contains('3'));
+        assert!(ExecError::IrreducibleCfg
+            .to_string()
+            .contains("irreducible"));
+        assert!(ExecError::UnknownNode { index: 3 }
+            .to_string()
+            .contains('3'));
         assert!(ExecError::AnalysisMismatch { tree: 1, cfg: 2 }
             .to_string()
             .contains("disagree"));

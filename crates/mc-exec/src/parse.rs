@@ -44,7 +44,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -178,15 +182,12 @@ impl Parser {
     }
 
     fn err_here(&self, message: impl Into<String>) -> ParseError {
-        let (line, column) = self
-            .peek()
-            .map(|s| (s.line, s.column))
-            .unwrap_or_else(|| {
-                self.toks
-                    .last()
-                    .map(|s| (s.line, s.column + 1))
-                    .unwrap_or((1, 1))
-            });
+        let (line, column) = self.peek().map(|s| (s.line, s.column)).unwrap_or_else(|| {
+            self.toks
+                .last()
+                .map(|s| (s.line, s.column + 1))
+                .unwrap_or((1, 1))
+        });
         ParseError {
             line,
             column,
@@ -346,9 +347,7 @@ impl Parser {
                     }
                 },
                 Some(other) => {
-                    return Err(self.err_here(format!(
-                        "expected a statement, found {other:?}"
-                    )))
+                    return Err(self.err_here(format!("expected a statement, found {other:?}")))
                 }
             }
         }
@@ -457,10 +456,7 @@ mod tests {
 
     #[test]
     fn parses_branch() {
-        let p = parse_program(
-            "if cond 1 p=0.25 { block t 10; } else { block e 4; }",
-        )
-        .unwrap();
+        let p = parse_program("if cond 1 p=0.25 { block t 10; } else { block e 4; }").unwrap();
         assert_eq!(p.wcet(), 11);
         assert_eq!(p.bcet(), 5);
         assert!((p.acet_estimate() - (1.0 + 0.25 * 10.0 + 0.75 * 4.0)).abs() < 1e-9);
@@ -523,8 +519,7 @@ mod tests {
         let err = parse_program("if c 1 p=1.5 { block t 1; } else { block e 1; }").unwrap_err();
         assert!(matches!(err, ExecError::InvalidProgram { .. }));
 
-        let err =
-            parse_program("loop l 1 bound=3 min=5 { block b 1; }").unwrap_err();
+        let err = parse_program("loop l 1 bound=3 min=5 { block b 1; }").unwrap_err();
         assert!(matches!(err, ExecError::InvalidProgram { .. }));
     }
 

@@ -239,8 +239,7 @@ impl Program {
                 body,
                 ..
             } => {
-                (avg_iterations + 1.0) * header.cost as f64
-                    + avg_iterations * body.acet_estimate()
+                (avg_iterations + 1.0) * header.cost as f64 + avg_iterations * body.acet_estimate()
             }
         }
     }
@@ -511,9 +510,8 @@ mod tests {
             leaf.prop_recursive(4, 32, 4, |inner| {
                 prop_oneof![
                     proptest::collection::vec(inner.clone(), 0..4).prop_map(Program::seq),
-                    (inner.clone(), inner.clone(), 0u64..20, 0.0..=1.0f64).prop_map(
-                        |(t, e, c, p)| Program::branch(BasicBlock::new("c", c), t, e, p)
-                    ),
+                    (inner.clone(), inner.clone(), 0u64..20, 0.0..=1.0f64)
+                        .prop_map(|(t, e, c, p)| Program::branch(BasicBlock::new("c", c), t, e, p)),
                     (inner, 0u64..8, 0u64..8, 0u64..20).prop_map(|(b, bound, min, c)| {
                         let min = min.min(bound);
                         let avg = (min + bound) as f64 / 2.0;

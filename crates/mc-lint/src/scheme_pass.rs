@@ -1,0 +1,235 @@
+//! Scheme-configuration linting (`S0xx` diagnostics): GA hyper-parameters,
+//! the Chebyshev problem configuration, and the synthetic task generator.
+//!
+//! Unlike the crates' own `validate()` methods — which return on the first
+//! violation — this pass reports *every* problem at once, so a config file
+//! with three mistakes needs one lint run, not three failed runs.
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use mc_opt::{GaConfig, ProblemConfig};
+use mc_task::generate::GeneratorConfig;
+
+/// Search budgets past this many evaluations get an [`Code::S006`] warning.
+const BUDGET_WARN: u64 = 10_000_000;
+
+/// Lints GA hyper-parameters.
+#[must_use]
+pub fn lint_ga_config(cfg: &GaConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let src = "ga-config";
+
+    if cfg.population_size < 2 {
+        report.push(Diagnostic::new(
+            Code::S001,
+            src,
+            format!(
+                "population_size {} is below 2; crossover needs two parents",
+                cfg.population_size,
+            ),
+        ));
+    }
+    if cfg.generations == 0 {
+        report.push(Diagnostic::new(
+            Code::S002,
+            src,
+            "generations is 0; the GA would return the random initial population",
+        ));
+    }
+    for (p, name) in [
+        (cfg.crossover_probability, "crossover_probability"),
+        (cfg.mutation_probability, "mutation_probability"),
+    ] {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            report.push(Diagnostic::new(
+                Code::S003,
+                src,
+                format!("{name} = {p} is outside [0, 1]"),
+            ));
+        }
+    }
+    if cfg.tournament_size == 0 || cfg.tournament_size > cfg.population_size {
+        report.push(Diagnostic::new(
+            Code::S004,
+            src,
+            format!(
+                "tournament_size {} is outside [1, population_size = {}]",
+                cfg.tournament_size, cfg.population_size,
+            ),
+        ));
+    }
+    if cfg.elitism >= cfg.population_size {
+        report.push(Diagnostic::new(
+            Code::S005,
+            src,
+            format!(
+                "elitism {} is not smaller than the population {}; no \
+                 offspring would ever be admitted",
+                cfg.elitism, cfg.population_size,
+            ),
+        ));
+    }
+    let budget = cfg.population_size as u64 * cfg.generations as u64;
+    if budget > BUDGET_WARN {
+        report.push(Diagnostic::new(
+            Code::S006,
+            src,
+            format!(
+                "search budget {budget} evaluations ({} × {}) is far beyond \
+                 the paper's setup; expect long runtimes",
+                cfg.population_size, cfg.generations,
+            ),
+        ));
+    }
+    report
+}
+
+/// Lints the Chebyshev problem configuration.
+#[must_use]
+pub fn lint_problem_config(cfg: &ProblemConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let src = "problem-config";
+    if !cfg.factor_cap.is_finite() || cfg.factor_cap <= 0.0 {
+        report.push(Diagnostic::new(
+            Code::S007,
+            src,
+            format!("factor_cap {} must be finite and positive", cfg.factor_cap),
+        ));
+    } else if cfg.factor_cap < 3.0 {
+        // Fig. 2 of the paper explores n up to ≈ 30; a cap this low clips
+        // the useful part of the 1/(1+n²) curve.
+        report.push(Diagnostic::new(
+            Code::S008,
+            src,
+            format!(
+                "factor_cap {} is below the paper's operating region \
+                 (n ≲ 30); the optimiser cannot reach low violation \
+                 probabilities",
+                cfg.factor_cap,
+            ),
+        ));
+    }
+    report
+}
+
+/// Lints the synthetic task-generator configuration, reporting every
+/// violated range at once.
+#[must_use]
+pub fn lint_generator_config(cfg: &GeneratorConfig) -> LintReport {
+    let mut report = LintReport::new();
+    let src = "generator-config";
+    let mut push = |msg: String| {
+        report.push(Diagnostic::new(Code::S009, src, msg));
+    };
+
+    if cfg.period_ms.0 == 0 || cfg.period_ms.1 < cfg.period_ms.0 {
+        push(format!(
+            "period range [{}, {}] ms must be non-empty and start above zero",
+            cfg.period_ms.0, cfg.period_ms.1,
+        ));
+    }
+    let (ulo, uhi) = cfg.task_utilization;
+    if !(ulo.is_finite() && uhi.is_finite()) || ulo <= 0.0 || uhi < ulo || uhi > 1.0 {
+        push(format!(
+            "task utilization range [{ulo}, {uhi}] must satisfy 0 < lo <= hi <= 1",
+        ));
+    }
+    let (rlo, rhi) = cfg.wcet_ratio;
+    if !(rlo.is_finite() && rhi.is_finite()) || rlo < 1.0 || rhi < rlo {
+        push(format!(
+            "WCET ratio range [{rlo}, {rhi}] must satisfy 1 <= lo <= hi",
+        ));
+    }
+    let (clo, chi) = cfg.coefficient_of_variation;
+    if !(clo.is_finite() && chi.is_finite()) || clo < 0.0 || chi < clo {
+        push(format!(
+            "coefficient-of-variation range [{clo}, {chi}] must satisfy 0 <= lo <= hi",
+        ));
+    }
+    if !cfg.p_high.is_finite() || !(0.0..=1.0).contains(&cfg.p_high) {
+        push(format!("p_high {} must be in [0, 1]", cfg.p_high));
+    }
+    if cfg.max_tasks == 0 {
+        push("max_tasks must be non-zero".to_string());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    #[test]
+    fn default_configs_are_clean() {
+        assert!(lint_ga_config(&GaConfig::default()).is_clean());
+        assert!(lint_problem_config(&ProblemConfig::default()).is_clean());
+        assert!(lint_generator_config(&GeneratorConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn ga_violations_are_all_reported_at_once() {
+        let cfg = GaConfig {
+            population_size: 1,
+            generations: 0,
+            crossover_probability: 1.5,
+            mutation_probability: -0.1,
+            tournament_size: 0,
+            elitism: 5,
+            seed: 0,
+        };
+        let report = lint_ga_config(&cfg);
+        for code in [Code::S001, Code::S002, Code::S004, Code::S005] {
+            assert!(
+                report.iter().any(|d| d.code == code),
+                "missing {code}: {}",
+                report.render_human(),
+            );
+        }
+        // Both probabilities are bad — two S003 findings, not one.
+        assert_eq!(report.iter().filter(|d| d.code == Code::S003).count(), 2);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn oversized_ga_budget_warns() {
+        let cfg = GaConfig {
+            population_size: 10_000,
+            generations: 10_000,
+            ..GaConfig::default()
+        };
+        let report = lint_ga_config(&cfg);
+        assert_eq!(report.codes(), vec![Code::S006]);
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn factor_cap_edges() {
+        assert!(lint_problem_config(&ProblemConfig {
+            factor_cap: f64::NAN
+        })
+        .iter()
+        .any(|d| d.code == Code::S007));
+        assert!(lint_problem_config(&ProblemConfig { factor_cap: -1.0 })
+            .iter()
+            .any(|d| d.code == Code::S007));
+        let low = lint_problem_config(&ProblemConfig { factor_cap: 1.0 });
+        assert_eq!(low.codes(), vec![Code::S008]);
+        assert_eq!(low.diagnostics[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn generator_violations_are_all_reported_at_once() {
+        let cfg = GeneratorConfig {
+            period_ms: (0, 10),
+            task_utilization: (0.0, 1.5),
+            wcet_ratio: (0.5, 0.2),
+            coefficient_of_variation: (-0.1, 0.2),
+            p_high: 2.0,
+            max_tasks: 0,
+        };
+        let report = lint_generator_config(&cfg);
+        assert_eq!(report.iter().filter(|d| d.code == Code::S009).count(), 6);
+        // The crate's own validate() stops at the first of these.
+        assert!(cfg.validate().is_err());
+    }
+}

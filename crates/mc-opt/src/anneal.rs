@@ -132,7 +132,13 @@ where
         }
         let candidate_fitness = eval(&candidate);
         let delta = candidate_fitness - current_fitness;
-        let accept = delta >= 0.0
+        // From an infeasible point (fitness -inf) `delta` is NaN against
+        // another infeasible candidate, which would reject every move and
+        // freeze the chain; walk freely instead until feasible ground is
+        // found (`best` only updates on strictly greater fitness, so the
+        // walk never pollutes the result).
+        let accept = current_fitness == f64::NEG_INFINITY
+            || delta >= 0.0
             || (temperature > 0.0 && rng.random::<f64>() < (delta / temperature).exp());
         if accept {
             current = candidate;
@@ -160,7 +166,12 @@ mod tests {
     fn config_validation() {
         let ok = SaConfig::default();
         assert!(ok.validate().is_ok());
-        assert!(SaConfig { iterations: 0, ..ok }.validate().is_err());
+        assert!(SaConfig {
+            iterations: 0,
+            ..ok
+        }
+        .validate()
+        .is_err());
         assert!(SaConfig {
             initial_temperature: 0.0,
             ..ok
@@ -253,11 +264,8 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let ts = TaskSet::from_tasks(vec![
-            mk(0, 3.0e6, 1.0e6, 40),
-            mk(1, 5.0e6, 2.0e6, 30),
-        ])
-        .unwrap();
+        let ts =
+            TaskSet::from_tasks(vec![mk(0, 3.0e6, 1.0e6, 40), mk(1, 5.0e6, 2.0e6, 30)]).unwrap();
         let problem =
             crate::problem::WcetProblem::from_taskset(&ts, crate::ProblemConfig::default())
                 .unwrap();

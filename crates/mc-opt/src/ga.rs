@@ -326,12 +326,7 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(GaConfig {
-            elitism: 64,
-            ..ok
-        }
-        .validate()
-        .is_err());
+        assert!(GaConfig { elitism: 64, ..ok }.validate().is_err());
     }
 
     #[test]
@@ -358,9 +353,7 @@ mod tests {
     fn finds_multi_dimensional_optimum() {
         // Sphere function, optimum at (1, 2, 3, 4).
         let target = [1.0, 2.0, 3.0, 4.0];
-        let bounds: Vec<GeneBounds> = (0..4)
-            .map(|_| GeneBounds::new(0.0, 5.0).unwrap())
-            .collect();
+        let bounds: Vec<GeneBounds> = (0..4).map(|_| GeneBounds::new(0.0, 5.0).unwrap()).collect();
         let cfg = GaConfig {
             generations: 200,
             population_size: 128,

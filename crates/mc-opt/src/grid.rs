@@ -179,9 +179,7 @@ mod tests {
         let sweep = integer_sweep(&p, 30).unwrap();
         for pair in sweep.windows(2) {
             assert!(pair[1].objective.p_ms <= pair[0].objective.p_ms + 1e-12);
-            assert!(
-                pair[1].objective.max_u_lc_lo <= pair[0].objective.max_u_lc_lo + 1e-12
-            );
+            assert!(pair[1].objective.max_u_lc_lo <= pair[0].objective.max_u_lc_lo + 1e-12);
         }
     }
 

@@ -112,9 +112,7 @@ impl WcetProblem {
     pub fn from_taskset(ts: &TaskSet, config: ProblemConfig) -> Result<Self, OptError> {
         let mut tasks = Vec::new();
         for t in ts.hc_tasks() {
-            let p = t
-                .profile()
-                .ok_or(OptError::MissingProfile { id: t.id() })?;
+            let p = t.profile().ok_or(OptError::MissingProfile { id: t.id() })?;
             tasks.push(HcTaskParams {
                 id: t.id(),
                 acet: p.acet(),

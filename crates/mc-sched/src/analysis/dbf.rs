@@ -69,7 +69,11 @@ pub fn edf_demand_test(
     if ts.is_empty() {
         return Err(SchedError::EmptyTaskSet);
     }
-    let max_points = if max_points == 0 { 1_000_000 } else { max_points };
+    let max_points = if max_points == 0 {
+        1_000_000
+    } else {
+        max_points
+    };
     let total_u: f64 = ts.iter().map(|t| t.utilization(mode)).sum();
     if total_u > 1.0 + 1e-9 {
         // Demand grows without bound; report the necessary-condition
@@ -95,7 +99,9 @@ pub fn edf_demand_test(
         let num: f64 = ts
             .iter()
             .map(|t| {
-                (t.period().as_nanos().saturating_sub(t.deadline().as_nanos())) as f64
+                (t.period()
+                    .as_nanos()
+                    .saturating_sub(t.deadline().as_nanos())) as f64
                     * t.utilization(mode)
             })
             .sum();
@@ -105,9 +111,7 @@ pub fn edf_demand_test(
     .max(max_deadline);
 
     // Synchronous busy period L_b: w ← Σ ⌈w/Pᵢ⌉·Cᵢ to fixpoint.
-    let mut w = ts
-        .iter()
-        .fold(Duration::ZERO, |acc, t| acc + t.wcet(mode));
+    let mut w = ts.iter().fold(Duration::ZERO, |acc, t| acc + t.wcet(mode));
     let lb = loop {
         let next = ts.iter().fold(Duration::ZERO, |acc, t| {
             let jobs = w.as_nanos().div_ceil(t.period().as_nanos()).max(1);
@@ -128,18 +132,14 @@ pub fn edf_demand_test(
 
     // Enumerate absolute deadlines d = k·P + D ≤ horizon, merged and
     // deduplicated on the fly via a simple per-task cursor sweep.
-    let mut cursors: Vec<(Duration, &McTask)> =
-        ts.iter().map(|t| (t.deadline(), t)).collect();
+    let mut cursors: Vec<(Duration, &McTask)> = ts.iter().map(|t| (t.deadline(), t)).collect();
     let mut checked = 0u64;
-    loop {
-        let Some((next_d, _)) = cursors
-            .iter()
-            .filter(|(d, _)| *d <= horizon)
-            .min_by_key(|(d, _)| *d)
-            .copied()
-        else {
-            break;
-        };
+    while let Some((next_d, _)) = cursors
+        .iter()
+        .filter(|(d, _)| *d <= horizon)
+        .min_by_key(|(d, _)| *d)
+        .copied()
+    {
         checked += 1;
         if checked > max_points {
             return Err(SchedError::SimulationDiverged);
@@ -156,7 +156,7 @@ pub fn edf_demand_test(
         // Advance every cursor sitting at this deadline.
         for (d, t) in cursors.iter_mut() {
             if *d == next_d {
-                *d = *d + t.period();
+                *d += t.period();
             }
         }
     }
@@ -244,9 +244,17 @@ mod tests {
             .build()
             .unwrap();
         let ts = TaskSet::from_tasks(vec![t, pair]).unwrap();
-        assert!(edf_demand_test(&ts, Criticality::Lo, 0).unwrap().schedulable);
+        assert!(
+            edf_demand_test(&ts, Criticality::Lo, 0)
+                .unwrap()
+                .schedulable
+        );
         // 120 ms demand per 100 ms in HI mode.
-        assert!(!edf_demand_test(&ts, Criticality::Hi, 0).unwrap().schedulable);
+        assert!(
+            !edf_demand_test(&ts, Criticality::Hi, 0)
+                .unwrap()
+                .schedulable
+        );
     }
 
     #[test]

@@ -215,9 +215,7 @@ pub fn simulate(ts: &TaskSet, cfg: &SimConfig) -> Result<SimMetrics, SchedError>
                     }
                 }
                 // §III: back to LO when no HC job is ready.
-                if mode == Criticality::Hi
-                    && !pending.iter().any(|p| p.criticality.is_high())
-                {
+                if mode == Criticality::Hi && !pending.iter().any(|p| p.criticality.is_high()) {
                     mode = Criticality::Lo;
                     if let Some(t0) = hi_entered_at.take() {
                         metrics.time_in_hi += clock - t0;
@@ -271,9 +269,7 @@ pub fn simulate(ts: &TaskSet, cfg: &SimConfig) -> Result<SimMetrics, SchedError>
             let jitter = if cfg.release_jitter.is_zero() {
                 Duration::ZERO
             } else {
-                Duration::from_nanos(
-                    rng.random_range(0..=cfg.release_jitter.as_nanos()),
-                )
+                Duration::from_nanos(rng.random_range(0..=cfg.release_jitter.as_nanos()))
             };
             next_release[idx] = clock + task.period() + jitter;
             if task.criticality().is_low() && mode == Criticality::Hi {
@@ -410,11 +406,7 @@ mod tests {
 
     /// A set satisfying Eq. 8: u_hc_lo = 0.2, u_hc_hi = 0.5, u_lc_lo = 0.3.
     fn schedulable_set() -> TaskSet {
-        TaskSet::from_tasks(vec![
-            hc(0, 20, 50, 100),
-            lc(1, 30, 100),
-        ])
-        .unwrap()
+        TaskSet::from_tasks(vec![hc(0, 20, 50, 100), lc(1, 30, 100)]).unwrap()
     }
 
     #[test]
@@ -472,12 +464,8 @@ mod tests {
         // A multi-HC-task set at Eq. 8's edge: EDF-VD must still protect
         // carried-over HC work when every job overruns.
         // u_hc_lo = 0.3, u_hc_hi = 0.6 (two tasks), u_lc_lo = 0.4.
-        let ts = TaskSet::from_tasks(vec![
-            hc(0, 15, 30, 50),
-            hc(1, 30, 60, 200),
-            lc(2, 40, 100),
-        ])
-        .unwrap();
+        let ts = TaskSet::from_tasks(vec![hc(0, 15, 30, 50), hc(1, 30, 60, 200), lc(2, 40, 100)])
+            .unwrap();
         let vd = simulate(&ts, &cfg(JobExecModel::FullHiBudget)).unwrap();
         assert_eq!(vd.hc_deadline_misses, 0, "EDF-VD protects HC");
     }

@@ -30,9 +30,7 @@ impl JobExecModel {
     /// Validates model parameters (fractions and probabilities in `[0, 1]`).
     pub fn is_valid(&self) -> bool {
         match self {
-            JobExecModel::FullLoBudget | JobExecModel::FullHiBudget | JobExecModel::Profile => {
-                true
-            }
+            JobExecModel::FullLoBudget | JobExecModel::FullHiBudget | JobExecModel::Profile => true,
             JobExecModel::FractionOfLo(f) => f.is_finite() && (0.0..=1.0).contains(f),
             JobExecModel::OverrunWithProbability(p) => p.is_finite() && (0.0..=1.0).contains(p),
         }
@@ -69,8 +67,7 @@ impl JobExecModel {
                             }
                         };
                         let u2: f64 = rng.random();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         p.acet() + sigma * z
                     };
                     clamp(Duration::try_from_nanos_f64_ceil(x.max(1.0)).unwrap_or(task.c_hi()))

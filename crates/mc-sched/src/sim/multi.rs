@@ -47,8 +47,7 @@ impl MultiExecModel {
                         }
                     };
                     let u2: f64 = rng.random();
-                    let z =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     let x = (p.acet() + p.sigma() * z).max(1.0);
                     Duration::try_from_nanos_f64_ceil(x)
                         .unwrap_or(top)
@@ -423,9 +422,7 @@ mod tests {
         for t in ts.iter_mut() {
             if t.level() > 0 {
                 let top = t.budgets().last().unwrap().as_nanos() as f64;
-                let lower: Vec<Duration> = (0..t.level())
-                    .map(|k| t.budgets()[k])
-                    .collect();
+                let lower: Vec<Duration> = (0..t.level()).map(|k| t.budgets()[k]).collect();
                 *t = MultiTask::new(
                     t.id(),
                     t.name().to_string(),

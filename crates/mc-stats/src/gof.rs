@@ -76,9 +76,7 @@ pub fn kolmogorov_survival(lambda: f64) -> f64 {
         let mut cdf_sum = 0.0;
         for k in 1..=20u32 {
             let m = (2 * k - 1) as f64;
-            cdf_sum += (-(m * m) * std::f64::consts::PI.powi(2)
-                / (8.0 * lambda * lambda))
-                .exp();
+            cdf_sum += (-(m * m) * std::f64::consts::PI.powi(2) / (8.0 * lambda * lambda)).exp();
         }
         let cdf = (2.0 * std::f64::consts::PI).sqrt() / lambda * cdf_sum;
         return (1.0 - cdf).clamp(0.0, 1.0);
@@ -208,7 +206,11 @@ mod tests {
             .collect();
         let fitted = Dist::gumbel(fit.location, fit.scale).unwrap();
         let good = ks_test(&maxima, &fitted).unwrap();
-        assert!(!good.reject_at(0.01), "good fit rejected: p = {}", good.p_value);
+        assert!(
+            !good.reject_at(0.01),
+            "good fit rejected: p = {}",
+            good.p_value
+        );
 
         let bounded = Dist::uniform(0.0, 1.0).unwrap();
         let b_samples = bounded.sample_vec(&mut StdRng::seed_from_u64(5), 40_000);

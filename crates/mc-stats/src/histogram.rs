@@ -343,10 +343,7 @@ mod tests {
             h.record(s).unwrap();
         }
         let binned: u64 = h.counts().iter().sum();
-        assert_eq!(
-            binned + h.underflow() + h.overflow(),
-            samples.len() as u64
-        );
+        assert_eq!(binned + h.underflow() + h.overflow(), samples.len() as u64);
     }
 
     #[test]

@@ -53,7 +53,7 @@ impl Summary {
     /// # Errors
     ///
     /// Same conditions as [`Summary::from_samples`].
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Result<Self> {
+    pub fn try_from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Result<Self> {
         let mut online = OnlineSummary::new();
         for s in iter {
             online.push(s)?;

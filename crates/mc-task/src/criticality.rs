@@ -46,9 +46,7 @@ impl fmt::Display for Criticality {
 }
 
 /// DO-178B design assurance levels, from catastrophic (A) to no effect (E).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Do178bLevel {
     /// Catastrophic failure condition.
     A,

@@ -91,6 +91,19 @@ impl GeneratorConfig {
         Ok(())
     }
 
+    /// Validates once and returns a proof-of-validation wrapper, so the
+    /// per-task generators don't re-run the checks for every task of a
+    /// set. `mc-lint`'s `lint_generator_config` reports the same
+    /// violations (code `S009`) with full detail.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GeneratorConfig::validate`].
+    pub fn checked(&self) -> Result<CheckedGeneratorConfig<'_>, TaskError> {
+        self.validate()?;
+        Ok(CheckedGeneratorConfig(self))
+    }
+
     fn sample_period<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
         Duration::from_millis(rng.random_range(self.period_ms.0..=self.period_ms.1))
     }
@@ -101,6 +114,21 @@ impl GeneratorConfig {
         } else {
             rng.random_range(lo..hi)
         }
+    }
+}
+
+/// A [`GeneratorConfig`] that has passed [`GeneratorConfig::validate`]
+/// exactly once. Constructed via [`GeneratorConfig::checked`]; holding one
+/// is proof the ranges are sane, so the generation loops skip
+/// re-validation on every task.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckedGeneratorConfig<'a>(&'a GeneratorConfig);
+
+impl std::ops::Deref for CheckedGeneratorConfig<'_> {
+    type Target = GeneratorConfig;
+
+    fn deref(&self) -> &GeneratorConfig {
+        self.0
     }
 }
 
@@ -120,7 +148,15 @@ pub fn generate_hc_task<R: Rng + ?Sized>(
     cfg: &GeneratorConfig,
     rng: &mut R,
 ) -> Result<McTask, TaskError> {
-    cfg.validate()?;
+    hc_task_checked(id, u_hi, cfg.checked()?, rng)
+}
+
+fn hc_task_checked<R: Rng + ?Sized>(
+    id: TaskId,
+    u_hi: f64,
+    cfg: CheckedGeneratorConfig<'_>,
+    rng: &mut R,
+) -> Result<McTask, TaskError> {
     if !u_hi.is_finite() || u_hi <= 0.0 || u_hi > 1.0 {
         return Err(TaskError::InvalidGeneratorConfig {
             reason: "requested task utilization must be in (0, 1]",
@@ -156,7 +192,15 @@ pub fn generate_lc_task<R: Rng + ?Sized>(
     cfg: &GeneratorConfig,
     rng: &mut R,
 ) -> Result<McTask, TaskError> {
-    cfg.validate()?;
+    lc_task_checked(id, u, cfg.checked()?, rng)
+}
+
+fn lc_task_checked<R: Rng + ?Sized>(
+    id: TaskId,
+    u: f64,
+    cfg: CheckedGeneratorConfig<'_>,
+    rng: &mut R,
+) -> Result<McTask, TaskError> {
     if !u.is_finite() || u <= 0.0 || u > 1.0 {
         return Err(TaskError::InvalidGeneratorConfig {
             reason: "requested task utilization must be in (0, 1]",
@@ -183,7 +227,7 @@ pub fn generate_hc_taskset<R: Rng + ?Sized>(
     cfg: &GeneratorConfig,
     rng: &mut R,
 ) -> Result<TaskSet, TaskError> {
-    cfg.validate()?;
+    let cfg = cfg.checked()?;
     if !target_u_hi.is_finite() || target_u_hi <= 0.0 || target_u_hi > 1.0 {
         return Err(TaskError::InvalidGeneratorConfig {
             reason: "target utilization must be in (0, 1]",
@@ -204,7 +248,7 @@ pub fn generate_hc_taskset<R: Rng + ?Sized>(
         if u > remaining {
             u = remaining;
         }
-        let task = generate_hc_task(TaskId::new(next_id), u, cfg, rng)?;
+        let task = hc_task_checked(TaskId::new(next_id), u, cfg, rng)?;
         remaining -= task.u_hi();
         ts.push(task).expect("ids are sequential and unique");
         next_id += 1;
@@ -225,7 +269,7 @@ pub fn generate_mixed_taskset<R: Rng + ?Sized>(
     cfg: &GeneratorConfig,
     rng: &mut R,
 ) -> Result<TaskSet, TaskError> {
-    cfg.validate()?;
+    let cfg = cfg.checked()?;
     if !u_bound.is_finite() || u_bound <= 0.0 || u_bound > 2.0 {
         return Err(TaskError::InvalidGeneratorConfig {
             reason: "u_bound must be in (0, 2]",
@@ -248,9 +292,9 @@ pub fn generate_mixed_taskset<R: Rng + ?Sized>(
         let high = rng.random::<f64>() < cfg.p_high;
         let id = TaskId::new(next_id);
         let task = if high {
-            generate_hc_task(id, u, cfg, rng)?
+            hc_task_checked(id, u, cfg, rng)?
         } else {
-            generate_lc_task(id, u, cfg, rng)?
+            lc_task_checked(id, u, cfg, rng)?
         };
         remaining -= if high { task.u_hi() } else { task.u_lo() };
         ts.push(task).expect("ids are sequential and unique");
@@ -280,7 +324,7 @@ pub fn generate_lo_bounded_taskset<R: Rng + ?Sized>(
     cfg: &GeneratorConfig,
     rng: &mut R,
 ) -> Result<TaskSet, TaskError> {
-    cfg.validate()?;
+    let cfg = cfg.checked()?;
     if !u_bound.is_finite() || u_bound <= 0.0 || u_bound > 2.0 {
         return Err(TaskError::InvalidGeneratorConfig {
             reason: "u_bound must be in (0, 2]",
@@ -316,11 +360,8 @@ pub fn generate_lo_bounded_taskset<R: Rng + ?Sized>(
             if lambda * u_hi > remaining {
                 u_hi = remaining / lambda;
             }
-            let mut task = generate_hc_task(id, u_hi.min(1.0), cfg, rng)?;
-            let c_lo = task
-                .c_hi()
-                .mul_f64(lambda)
-                .max(Duration::from_nanos(1));
+            let mut task = hc_task_checked(id, u_hi.min(1.0), cfg, rng)?;
+            let c_lo = task.c_hi().mul_f64(lambda).max(Duration::from_nanos(1));
             task.set_c_lo(c_lo)?;
             remaining -= task.u_lo();
             ts.push(task).expect("ids are sequential and unique");
@@ -329,7 +370,7 @@ pub fn generate_lo_bounded_taskset<R: Rng + ?Sized>(
             if u > remaining {
                 u = remaining;
             }
-            let task = generate_lc_task(id, u, cfg, rng)?;
+            let task = lc_task_checked(id, u, cfg, rng)?;
             remaining -= task.u_lo();
             ts.push(task).expect("ids are sequential and unique");
         }
@@ -345,11 +386,7 @@ pub fn generate_lo_bounded_taskset<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns an error when `n == 0` or `total` is not strictly positive.
-pub fn uunifast<R: Rng + ?Sized>(
-    n: usize,
-    total: f64,
-    rng: &mut R,
-) -> Result<Vec<f64>, TaskError> {
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Result<Vec<f64>, TaskError> {
     if n == 0 {
         return Err(TaskError::InvalidGeneratorConfig {
             reason: "uunifast requires at least one task",
@@ -388,30 +425,61 @@ mod tests {
 
     #[test]
     fn config_validation_catches_bad_ranges() {
-        let mut cfg = GeneratorConfig::default();
-        cfg.period_ms = (0, 10);
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.period_ms = (200, 100);
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.task_utilization = (0.0, 0.5);
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.task_utilization = (0.1, 1.5);
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.wcet_ratio = (0.5, 2.0);
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.coefficient_of_variation = (-0.1, 0.2);
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.p_high = 1.5;
-        assert!(cfg.validate().is_err());
-        let mut cfg = GeneratorConfig::default();
-        cfg.max_tasks = 0;
-        assert!(cfg.validate().is_err());
+        let base = GeneratorConfig::default;
+        let bad = [
+            GeneratorConfig {
+                period_ms: (0, 10),
+                ..base()
+            },
+            GeneratorConfig {
+                period_ms: (200, 100),
+                ..base()
+            },
+            GeneratorConfig {
+                task_utilization: (0.0, 0.5),
+                ..base()
+            },
+            GeneratorConfig {
+                task_utilization: (0.1, 1.5),
+                ..base()
+            },
+            GeneratorConfig {
+                wcet_ratio: (0.5, 2.0),
+                ..base()
+            },
+            GeneratorConfig {
+                coefficient_of_variation: (-0.1, 0.2),
+                ..base()
+            },
+            GeneratorConfig {
+                p_high: 1.5,
+                ..base()
+            },
+            GeneratorConfig {
+                max_tasks: 0,
+                ..base()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn checked_wrapper_mirrors_validate() {
+        let good = GeneratorConfig::default();
+        let checked = good.checked().unwrap();
+        // Deref exposes the underlying config unchanged.
+        assert_eq!(checked.period_ms, good.period_ms);
+        let bad = GeneratorConfig {
+            max_tasks: 0,
+            ..GeneratorConfig::default()
+        };
+        assert!(bad.checked().is_err());
+        assert_eq!(
+            bad.checked().unwrap_err().to_string(),
+            bad.validate().unwrap_err().to_string(),
+        );
     }
 
     #[test]
@@ -500,9 +568,11 @@ mod tests {
 
     #[test]
     fn max_tasks_cap_fires() {
-        let mut cfg = GeneratorConfig::default();
-        cfg.max_tasks = 2;
-        cfg.task_utilization = (0.02, 0.05);
+        let cfg = GeneratorConfig {
+            max_tasks: 2,
+            task_utilization: (0.02, 0.05),
+            ..GeneratorConfig::default()
+        };
         let mut r = rng(9);
         assert!(generate_hc_taskset(0.9, &cfg, &mut r).is_err());
     }

@@ -340,9 +340,7 @@ mod tests {
         // Wrong count.
         assert!(MultiTask::new(TaskId::new(0), "", 2, vec![ms(1), ms(2)], ms(10), None).is_err());
         // Decreasing budgets.
-        assert!(
-            MultiTask::new(TaskId::new(0), "", 1, vec![ms(5), ms(3)], ms(10), None).is_err()
-        );
+        assert!(MultiTask::new(TaskId::new(0), "", 1, vec![ms(5), ms(3)], ms(10), None).is_err());
         // Zero first budget.
         assert!(MultiTask::new(
             TaskId::new(0),
@@ -354,19 +352,9 @@ mod tests {
         )
         .is_err());
         // Top budget beyond the period.
-        assert!(
-            MultiTask::new(TaskId::new(0), "", 1, vec![ms(5), ms(15)], ms(10), None).is_err()
-        );
+        assert!(MultiTask::new(TaskId::new(0), "", 1, vec![ms(5), ms(15)], ms(10), None).is_err());
         // Zero period.
-        assert!(MultiTask::new(
-            TaskId::new(0),
-            "",
-            0,
-            vec![ms(1)],
-            Duration::ZERO,
-            None
-        )
-        .is_err());
+        assert!(MultiTask::new(TaskId::new(0), "", 0, vec![ms(1)], Duration::ZERO, None).is_err());
         // Valid.
         let t = task(0, 1, &[2, 8], 10);
         assert_eq!(t.level(), 1);

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque task identifier, unique within a [`crate::taskset::TaskSet`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TaskId(u32);
 
 impl TaskId {
@@ -412,7 +410,13 @@ mod tests {
     #[test]
     fn missing_fields_are_reported() {
         let e = McTask::builder(TaskId::new(3)).build().unwrap_err();
-        assert!(matches!(e, TaskError::MissingField { field: "period", .. }));
+        assert!(matches!(
+            e,
+            TaskError::MissingField {
+                field: "period",
+                ..
+            }
+        ));
         let e = McTask::builder(TaskId::new(3))
             .period(Duration::from_millis(10))
             .build()

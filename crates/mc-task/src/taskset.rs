@@ -306,7 +306,10 @@ mod tests {
             .unwrap()
             .set_c_lo(Duration::from_millis(20))
             .unwrap();
-        assert_eq!(ts.get(TaskId::new(0)).unwrap().c_lo(), Duration::from_millis(20));
+        assert_eq!(
+            ts.get(TaskId::new(0)).unwrap().c_lo(),
+            Duration::from_millis(20)
+        );
     }
 
     #[test]

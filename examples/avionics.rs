@@ -44,26 +44,65 @@ fn build_workload() -> Result<TaskSet, Box<dyn std::error::Error>> {
     let mut ts = TaskSet::new();
     // DAL-A/B: image-pipeline-driven control tasks (periods chosen so the
     // pessimistic HI-mode demand is substantial but feasible).
-    ts.push(hc_from_benchmark(0, "corner-tracker", "corner", Duration::from_millis(20))?)?;
-    ts.push(hc_from_benchmark(1, "edge-horizon", "edge", Duration::from_millis(40))?)?;
-    ts.push(hc_from_benchmark(2, "attitude-sort", "qsort-100", Duration::from_millis(10))?)?;
+    ts.push(hc_from_benchmark(
+        0,
+        "corner-tracker",
+        "corner",
+        Duration::from_millis(20),
+    )?)?;
+    ts.push(hc_from_benchmark(
+        1,
+        "edge-horizon",
+        "edge",
+        Duration::from_millis(40),
+    )?)?;
+    ts.push(hc_from_benchmark(
+        2,
+        "attitude-sort",
+        "qsort-100",
+        Duration::from_millis(10),
+    )?)?;
     // DAL-C/E low-criticality functions.
-    ts.push(lc(3, "telemetry", Do178bLevel::C, Duration::from_millis(8), Duration::from_millis(100)))?;
-    ts.push(lc(4, "cabin-display", Do178bLevel::D, Duration::from_millis(20), Duration::from_millis(300)))?;
-    ts.push(lc(5, "maintenance-log", Do178bLevel::E, Duration::from_millis(15), Duration::from_millis(500)))?;
+    ts.push(lc(
+        3,
+        "telemetry",
+        Do178bLevel::C,
+        Duration::from_millis(8),
+        Duration::from_millis(100),
+    ))?;
+    ts.push(lc(
+        4,
+        "cabin-display",
+        Do178bLevel::D,
+        Duration::from_millis(20),
+        Duration::from_millis(300),
+    ))?;
+    ts.push(lc(
+        5,
+        "maintenance-log",
+        Do178bLevel::E,
+        Duration::from_millis(15),
+        Duration::from_millis(500),
+    ))?;
     Ok(ts)
 }
 
 fn describe(label: &str, m: &DesignMetrics) {
     println!("{label}:");
-    println!("  U_HC^LO = {:.4}  P_MS = {:.4}  max U_LC^LO = {:.4}  objective = {:.4}  schedulable = {}",
-        m.u_hc_lo, m.p_ms, m.max_u_lc_lo, m.objective, m.schedulable);
+    println!(
+        "  U_HC^LO = {:.4}  P_MS = {:.4}  max U_LC^LO = {:.4}  objective = {:.4}  schedulable = {}",
+        m.u_hc_lo, m.p_ms, m.max_u_lc_lo, m.objective, m.schedulable
+    );
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = build_workload()?;
-    println!("avionics workload: {} tasks, U_HC^HI = {:.4}, U_LC^LO = {:.4}\n",
-        base.len(), base.u_hc_hi(), base.u_lc_lo());
+    println!(
+        "avionics workload: {} tasks, U_HC^HI = {:.4}, U_LC^LO = {:.4}\n",
+        base.len(),
+        base.u_hc_hi(),
+        base.u_lc_lo()
+    );
 
     // Baseline: λ = 1/4 of the pessimistic WCET (state-of-the-art policy).
     let mut lambda_ts = base.clone();
@@ -95,15 +134,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim_cheb = simulate(&cheb_ts, &cfg)?;
     println!("\nruntime over 120 s (profile-driven execution times):");
     println!("  {:22} {:>12} {:>12}", "metric", "lambda-1/4", "chebyshev");
-    println!("  {:22} {:>12} {:>12}", "mode switches", sim_lambda.mode_switches, sim_cheb.mode_switches);
-    println!("  {:22} {:>12} {:>12}", "LC jobs lost", sim_lambda.lc_lost(), sim_cheb.lc_lost());
-    println!("  {:22} {:>12} {:>12}", "HC deadline misses", sim_lambda.hc_deadline_misses, sim_cheb.hc_deadline_misses);
-    println!("  {:22} {:>11.1}% {:>11.1}%", "busy", sim_lambda.utilization() * 100.0, sim_cheb.utilization() * 100.0);
+    println!(
+        "  {:22} {:>12} {:>12}",
+        "mode switches", sim_lambda.mode_switches, sim_cheb.mode_switches
+    );
+    println!(
+        "  {:22} {:>12} {:>12}",
+        "LC jobs lost",
+        sim_lambda.lc_lost(),
+        sim_cheb.lc_lost()
+    );
+    println!(
+        "  {:22} {:>12} {:>12}",
+        "HC deadline misses", sim_lambda.hc_deadline_misses, sim_cheb.hc_deadline_misses
+    );
+    println!(
+        "  {:22} {:>11.1}% {:>11.1}%",
+        "busy",
+        sim_lambda.utilization() * 100.0,
+        sim_cheb.utilization() * 100.0
+    );
 
     assert_eq!(sim_cheb.hc_deadline_misses, 0);
-    println!("\nThe scheme admits {:.1}x the LC utilisation of the λ = 1/4 baseline \
+    println!(
+        "\nThe scheme admits {:.1}x the LC utilisation of the λ = 1/4 baseline \
               while keeping the mode-switch bound at {:.2} %.",
         report.metrics.max_u_lc_lo / lambda_m.max_u_lc_lo.max(1e-9),
-        report.metrics.p_ms * 100.0);
+        report.metrics.p_ms * 100.0
+    );
     Ok(())
 }

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example policy_comparison`
 
-use chebymc::prelude::*;
 use chebymc::core::policy::paper_lambda_baselines;
+use chebymc::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let batch = BatchConfig {

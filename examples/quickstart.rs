@@ -11,7 +11,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (HC tasks carry measured (ACET, σ, WCET_pes) profiles).
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let mut ts = generate_mixed_taskset(0.7, &GeneratorConfig::default(), &mut rng)?;
-    println!("generated {} tasks ({} HC / {} LC)", ts.len(), ts.hc_count(), ts.lc_count());
+    println!(
+        "generated {} tasks ({} HC / {} LC)",
+        ts.len(),
+        ts.hc_count(),
+        ts.lc_count()
+    );
     println!(
         "before design: U_HC^LO = {:.3} (pessimistic), U_HC^HI = {:.3}, U_LC^LO = {:.3}",
         ts.u_hc_lo(),
@@ -48,6 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  LC jobs lost        = {}", sim.lc_lost());
     println!("  processor busy      = {:.1} %", sim.utilization() * 100.0);
 
-    assert_eq!(sim.hc_deadline_misses, 0, "the design must protect HC tasks");
+    assert_eq!(
+        sim.hc_deadline_misses, 0,
+        "the design must protect HC tasks"
+    );
     Ok(())
 }

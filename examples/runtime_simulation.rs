@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, model) in [
         ("no overruns (C_LO exact)", JobExecModel::FullLoBudget),
         ("profile-driven", JobExecModel::Profile),
-        ("10% job overrun rate", JobExecModel::OverrunWithProbability(0.1)),
+        (
+            "10% job overrun rate",
+            JobExecModel::OverrunWithProbability(0.1),
+        ),
         ("worst case (always C_HI)", JobExecModel::FullHiBudget),
     ] {
         for (policy_label, policy) in [

@@ -43,9 +43,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Program::block("commit", 40),
     ]);
     let report = analyze(&program)?;
-    println!("  WCET = {} cycles (tree and CFG analyses agree)", report.wcet);
+    println!(
+        "  WCET = {} cycles (tree and CFG analyses agree)",
+        report.wcet
+    );
     println!("  BCET = {} cycles", report.bcet);
     println!("  ACET estimate = {:.1} cycles", report.acet_estimate);
-    println!("  {} basic blocks, {} CFG nodes", report.block_count, report.cfg_node_count);
+    println!(
+        "  {} basic blocks, {} CFG nodes",
+        report.block_count, report.cfg_node_count
+    );
     Ok(())
 }

@@ -6,6 +6,8 @@
 //! chebymc design   workload.json --seed 1 -o designed.json
 //! chebymc design   workload.json --uniform-n 5 -o designed.json
 //! chebymc simulate designed.json --seconds 60 --policy degrade:0.5 --model profile
+//! chebymc lint     bundle.json --format json
+//! chebymc lint     --workload workload.json --benchmark all
 //! ```
 //!
 //! Workload files are the validated JSON format of
@@ -38,6 +40,13 @@ USAGE:
       Statically analyse a program model written in the mc-exec DSL
       (block/loop/if; see fixtures/*.prog) and print BCET/ACET/WCET.
 
+  chebymc lint [bundle.json] [--workload <w.json>] [--program <p.prog>]
+               [--benchmark <name>|all] [--format human|json] [-o <file>]
+      Static analysis: CFG structure (unbounded/irreducible loops,
+      unreachable blocks), task-set invariants, and scheme configuration.
+      Diagnostics carry stable codes (C0xx/T0xx/S0xx); exits non-zero
+      when any error-severity finding is present.
+
 Workload files are validated JSON; see `chebymc generate` for a template.
 ";
 
@@ -65,6 +74,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "design" => cmd_design(rest),
         "simulate" => cmd_simulate(rest),
         "wcet" => cmd_wcet(rest),
+        "lint" => cmd_lint(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -102,8 +112,7 @@ fn parse_flags(
 }
 
 fn load_workload(path: &str) -> Result<Workload, Box<dyn std::error::Error>> {
-    let json = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Ok(Workload::load_json(&json)?)
 }
 
@@ -237,8 +246,7 @@ fn cmd_wcet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let [path] = positional.as_slice() else {
         return Err("wcet needs exactly one .prog file".into());
     };
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     let program = chebymc::exec::parse::parse_program(&src)?;
     let report = chebymc::exec::wcet::analyze(&program)?;
     println!("program `{path}`:");
@@ -246,8 +254,91 @@ fn cmd_wcet(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("  CFG nodes     = {}", report.cfg_node_count);
     println!("  BCET          = {} cycles", report.bcet);
     println!("  ACET estimate = {:.1} cycles", report.acet_estimate);
-    println!("  WCET          = {} cycles (tree and CFG analyses agree)", report.wcet);
+    println!(
+        "  WCET          = {} cycles (tree and CFG analyses agree)",
+        report.wcet
+    );
     println!("  WCET/ACET gap = {:.1}x", report.wcet_acet_ratio());
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let (mut workload, mut program, mut benchmark, mut format, mut out) =
+        (None, None, None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--workload", &mut workload),
+            ("--program", &mut program),
+            ("--benchmark", &mut benchmark),
+            ("--format", &mut format),
+            ("-o", &mut out),
+        ],
+    )?;
+    let mut report = chebymc::lint::LintReport::new();
+    let mut inputs = 0usize;
+
+    match positional.as_slice() {
+        [] => {}
+        [path] => {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let bundle = chebymc::lint::LintBundle::from_json(&json)
+                .map_err(|e| format!("`{path}` is not a lint bundle: {e}"))?;
+            report.merge(bundle.lint());
+            inputs += 1;
+        }
+        _ => return Err("lint takes at most one bundle file".into()),
+    }
+    if let Some(path) = workload {
+        let json =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        // Deliberately *not* Workload::load_json: invalid workloads must be
+        // lintable, not rejected at parse time.
+        report.merge(
+            chebymc::lint::lint_workload_json(&json)
+                .map_err(|e| format!("`{path}` is not a workload: {e}"))?,
+        );
+        inputs += 1;
+    }
+    if let Some(path) = program {
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let cfg = chebymc::exec::parse::parse_program(&src)?.to_cfg()?;
+        report.merge(chebymc::lint::lint_cfg(&cfg, &path));
+        inputs += 1;
+    }
+    if let Some(name) = benchmark {
+        let benches = if name == "all" {
+            benchmarks::all()?
+        } else {
+            vec![benchmarks::by_name(&name)?]
+        };
+        for b in &benches {
+            let cfg = b.program().to_cfg()?;
+            report.merge(chebymc::lint::lint_benchmark_cfg(b.name(), &cfg));
+        }
+        inputs += 1;
+    }
+    if inputs == 0 {
+        return Err("lint needs at least one input (bundle, --workload, \
+                    --program, or --benchmark)"
+            .into());
+    }
+
+    let rendered = match format.as_deref().unwrap_or("human") {
+        "human" => report.render_human(),
+        "json" => report.render_json()?,
+        other => return Err(format!("unknown format `{other}`").into()),
+    };
+    write_or_print(out, rendered.trim_end())?;
+    if report.has_errors() {
+        return Err(format!(
+            "lint found {} error(s)",
+            report.count(chebymc::lint::Severity::Error)
+        )
+        .into());
+    }
     Ok(())
 }
 
@@ -277,9 +368,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "profile" => JobExecModel::Profile,
         "lo" => JobExecModel::FullLoBudget,
         "hi" => JobExecModel::FullHiBudget,
-        s if s.starts_with("p:") => {
-            JobExecModel::OverrunWithProbability(s["p:".len()..].parse()?)
-        }
+        s if s.starts_with("p:") => JobExecModel::OverrunWithProbability(s["p:".len()..].parse()?),
         other => return Err(format!("unknown execution model `{other}`").into()),
     };
     let cfg = SimConfig {
@@ -292,7 +381,10 @@ fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let m = simulate(&workload.tasks, &cfg)?;
     println!("simulated `{}` for {seconds} s:", workload.name);
-    println!("  jobs released        = {} HC + {} LC", m.hc_released, m.lc_released);
+    println!(
+        "  jobs released        = {} HC + {} LC",
+        m.hc_released, m.lc_released
+    );
     println!("  mode switches        = {}", m.mode_switches);
     println!("  HC deadline misses   = {}", m.hc_deadline_misses);
     println!("  LC deadline misses   = {}", m.lc_deadline_misses);

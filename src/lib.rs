@@ -12,6 +12,7 @@
 //! | [`exec`] | execution-time sampling and the mini static WCET analyser |
 //! | [`sched`] | EDF/EDF-VD/Liu schedulability analysis and the runtime simulator |
 //! | [`opt`] | the genetic algorithm and grid search |
+//! | [`lint`] | static analysis: CFG structure, task-set and config diagnostics |
 //! | [`core`] | the paper's scheme: policies, metrics, batch pipelines |
 //!
 //! # Quickstart
@@ -40,6 +41,7 @@
 
 pub use chebymc_core as core;
 pub use mc_exec as exec;
+pub use mc_lint as lint;
 pub use mc_opt as opt;
 pub use mc_sched as sched;
 pub use mc_stats as stats;
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use chebymc_core::CoreError;
     pub use mc_exec::benchmarks;
     pub use mc_exec::{Benchmark, ExecutionModel, ExecutionTrace};
+    pub use mc_lint::{LintBundle, LintReport, Severity};
     pub use mc_opt::{GaConfig, ProblemConfig, WcetProblem};
     pub use mc_sched::analysis::{edf, edf_vd, liu};
     pub use mc_sched::sim::{simulate, JobExecModel, LcPolicy, SimConfig, SimMetrics};
@@ -82,5 +85,6 @@ mod tests {
         let _: Criticality = Criticality::Hi;
         let _ = GeneratorConfig::default();
         let _ = ChebyshevScheme::new();
+        let _ = LintReport::new();
     }
 }

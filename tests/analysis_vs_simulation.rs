@@ -63,10 +63,15 @@ fn demand_test_agrees_with_simulation_both_ways() {
         let sim = simulate(&ts, &cfg).unwrap();
         let missed = sim.lc_deadline_misses > 0;
         assert_eq!(
-            verdict.schedulable, !missed,
+            verdict.schedulable,
+            !missed,
             "seed {seed}: analysis says {} but simulation {} ({:?})",
             verdict.schedulable,
-            if missed { "missed" } else { "met all deadlines" },
+            if missed {
+                "missed"
+            } else {
+                "met all deadlines"
+            },
             verdict.violation_at
         );
         if verdict.schedulable {
@@ -76,8 +81,14 @@ fn demand_test_agrees_with_simulation_both_ways() {
         }
     }
     // The generator must exercise both verdicts for the test to mean much.
-    assert!(schedulable_seen >= 10, "only {schedulable_seen} schedulable sets");
-    assert!(unschedulable_seen >= 5, "only {unschedulable_seen} unschedulable sets");
+    assert!(
+        schedulable_seen >= 10,
+        "only {schedulable_seen} schedulable sets"
+    );
+    assert!(
+        unschedulable_seen >= 5,
+        "only {unschedulable_seen} unschedulable sets"
+    );
 }
 
 /// EDF-VD's Eq. 8 is sufficient: whenever it accepts, the simulator must
@@ -89,11 +100,10 @@ fn eq8_sufficiency_has_no_runtime_counterexamples() {
     for seed in 100..160u64 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let u = 0.5 + (seed % 5) as f64 * 0.1;
-        let mut ts =
-            match generate_mixed_taskset(u, &GeneratorConfig::default(), &mut rng) {
-                Ok(ts) => ts,
-                Err(_) => continue,
-            };
+        let mut ts = match generate_mixed_taskset(u, &GeneratorConfig::default(), &mut rng) {
+            Ok(ts) => ts,
+            Err(_) => continue,
+        };
         WcetPolicy::ChebyshevUniform { n: 2.0 }
             .assign(&mut ts)
             .unwrap();

@@ -59,7 +59,11 @@ fn generate_analyze_design_simulate_pipeline() {
         "-o",
         raw.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(raw.exists());
 
     // analyze (pessimistic start: P_MS = 1 because C_LO = C_HI < ACET+nσ? no:
@@ -79,7 +83,11 @@ fn generate_analyze_design_simulate_pipeline() {
         "-o",
         designed.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("schedulable  = true"), "{text}");
     assert!(designed.exists());
@@ -100,7 +108,11 @@ fn generate_analyze_design_simulate_pipeline() {
         "--model",
         "profile",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("HC deadline misses   = 0"), "{text}");
 
@@ -144,9 +156,17 @@ fn design_handles_lc_only_workloads() {
         "-o",
         path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = chebymc(&["design", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("P_MS bound   = 0.0000"), "{text}");
     assert!(text.contains("schedulable  = true"), "{text}");

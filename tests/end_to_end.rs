@@ -47,7 +47,11 @@ fn measured_traces_drive_a_safe_design() {
 
     let report = ChebyshevScheme::with_seed(3).design(&mut ts).unwrap();
     assert!(report.metrics.schedulable, "design must satisfy Eq. 8");
-    assert!(report.metrics.p_ms < 0.5, "P_MS bound {}", report.metrics.p_ms);
+    assert!(
+        report.metrics.p_ms < 0.5,
+        "P_MS bound {}",
+        report.metrics.p_ms
+    );
     assert!(
         report.metrics.u_hc_lo < ts.u_hc_hi(),
         "optimistic demand must sit below pessimistic demand"
@@ -125,9 +129,10 @@ fn random_systems_designed_by_the_scheme_protect_hc_tasks() {
 fn analysis_and_simulation_agree_without_overruns() {
     for seed in 100..110u64 {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut ts =
-            generate_mixed_taskset(0.8, &GeneratorConfig::default(), &mut rng).unwrap();
-        WcetPolicy::ChebyshevUniform { n: 5.0 }.assign(&mut ts).unwrap();
+        let mut ts = generate_mixed_taskset(0.8, &GeneratorConfig::default(), &mut rng).unwrap();
+        WcetPolicy::ChebyshevUniform { n: 5.0 }
+            .assign(&mut ts)
+            .unwrap();
         let verdict = edf_vd::analyze(&ts).schedulable;
         if !verdict {
             continue;

@@ -26,10 +26,8 @@ fn fixture_paths() -> Vec<PathBuf> {
 fn all_fixtures_parse_and_analyse() {
     for path in fixture_paths() {
         let src = std::fs::read_to_string(&path).unwrap();
-        let program = parse_program(&src)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let report = analyze(&program)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let program = parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let report = analyze(&program).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(report.wcet > 0, "{}: zero WCET", path.display());
         assert!(
             report.bcet as f64 <= report.acet_estimate
@@ -71,7 +69,11 @@ fn cli_wcet_matches_library_analysis() {
         .arg(&path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(
         text.contains(&format!("WCET          = {} cycles", report.wcet)),
@@ -82,8 +84,7 @@ fn cli_wcet_matches_library_analysis() {
 #[test]
 fn committed_workload_fixture_designs_and_simulates() {
     use chebymc::prelude::*;
-    let json =
-        std::fs::read_to_string(fixtures_dir().join("synthetic_u075.json")).unwrap();
+    let json = std::fs::read_to_string(fixtures_dir().join("synthetic_u075.json")).unwrap();
     let mut w = Workload::load_json(&json).unwrap();
     assert_eq!(w.tasks.len(), 7);
     assert_eq!(w.tasks.hc_count(), 4);

@@ -1,0 +1,108 @@
+//! Integration tests for the mc-lint subsystem and the `chebymc lint`
+//! subcommand: the defect fixture must produce one diagnostic per planted
+//! defect, every shipped benchmark must lint clean, and the JSON renderer
+//! must round-trip through `serde_json`.
+
+use chebymc::lint::{Code, LintBundle, LintReport, Severity};
+use std::process::{Command, Output};
+
+const DEFECTS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/lint_defects.json");
+
+fn chebymc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_chebymc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+/// The headline acceptance test: a fixture with an unbounded loop, an
+/// unreachable block, and a task with `C_LO > C_HI` yields exactly the
+/// three matching diagnostic codes.
+#[test]
+fn defect_fixture_emits_one_code_per_planted_defect() {
+    let json = std::fs::read_to_string(DEFECTS).unwrap();
+    let report = LintBundle::from_json(&json).unwrap().lint();
+    assert_eq!(
+        report.codes(),
+        vec![Code::C003, Code::C005, Code::T001],
+        "unexpected diagnostics:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.count(Severity::Error), 3);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn cli_lint_reports_the_defects_and_exits_nonzero() {
+    let out = chebymc(&["lint", DEFECTS]);
+    assert!(!out.status.success(), "defective bundle must fail the lint");
+    let text = String::from_utf8_lossy(&out.stdout);
+    for code in ["C003", "C005", "T001"] {
+        assert!(text.contains(code), "missing {code} in:\n{text}");
+    }
+    assert!(String::from_utf8_lossy(&out.stderr).contains("lint found 3 error(s)"));
+}
+
+#[test]
+fn cli_lint_json_output_round_trips_through_serde() {
+    let out = chebymc(&["lint", DEFECTS, "--format", "json"]);
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let parsed: LintReport = serde_json::from_str(&text).expect("valid JSON report");
+    assert_eq!(parsed.codes(), vec![Code::C003, Code::C005, Code::T001]);
+    // Full round-trip: re-serialise and parse again to the same value.
+    let again: LintReport = serde_json::from_str(&serde_json::to_string(&parsed).unwrap()).unwrap();
+    assert_eq!(again, parsed);
+}
+
+#[test]
+fn cli_lint_clean_inputs_exit_zero() {
+    let out = chebymc(&["lint", "--benchmark", "all"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    let out = chebymc(&["lint", "--benchmark", "nonsense"]);
+    assert!(!out.status.success());
+
+    let out = chebymc(&["lint"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least one input"));
+}
+
+/// Every benchmark CFG the workspace ships is lint-clean — the structural
+/// analyser and the WCET analyser agree that these graphs are well-formed.
+#[test]
+fn every_benchmark_cfg_lints_clean() {
+    for b in chebymc::exec::benchmarks::all().unwrap() {
+        let cfg = b.program().to_cfg().unwrap();
+        let report = chebymc::lint::lint_benchmark_cfg(b.name(), &cfg);
+        assert!(
+            report.is_clean(),
+            "benchmark {} is not lint-clean:\n{}",
+            b.name(),
+            report.render_human()
+        );
+    }
+}
+
+/// The shipped `.prog` fixtures lint clean through the `--program` path.
+#[test]
+fn program_fixtures_lint_clean() {
+    for prog in [
+        "image_kernel.prog",
+        "sort_kernel.prog",
+        "state_machine.prog",
+    ] {
+        let path = format!("{}/fixtures/{prog}", env!("CARGO_MANIFEST_DIR"));
+        let out = chebymc(&["lint", "--program", &path]);
+        assert!(
+            out.status.success(),
+            "{prog}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}

@@ -33,7 +33,15 @@ fn build_system() -> MultiTaskSet {
     ts.push(from_bench(1, 2, "qsort-100", 5)).unwrap();
     ts.push(from_bench(2, 1, "edge", 40)).unwrap();
     ts.push(
-        MultiTask::new(TaskId::new(3), "best-effort", 0, vec![ms(30)], ms(100), None).unwrap(),
+        MultiTask::new(
+            TaskId::new(3),
+            "best-effort",
+            0,
+            vec![ms(30)],
+            ms(100),
+            None,
+        )
+        .unwrap(),
     )
     .unwrap();
     ts

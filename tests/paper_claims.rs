@@ -48,11 +48,9 @@ fn fig2_shape_interior_optimum() {
         assert!(pair[1].objective.p_ms <= pair[0].objective.p_ms + 1e-12);
         assert!(pair[1].objective.max_u_lc_lo <= pair[0].objective.max_u_lc_lo + 1e-12);
     }
-    let best = chebymc::opt::grid::best_uniform(
-        &problem,
-        &(0..=40).map(f64::from).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let best =
+        chebymc::opt::grid::best_uniform(&problem, &(0..=40).map(f64::from).collect::<Vec<_>>())
+            .unwrap();
     assert!(best.n > 0.0, "n = 0 has P_MS = 1 and zero objective");
     assert!(best.n < 40.0, "the objective must decay for huge n");
     assert!(best.objective.fitness > 0.0);
@@ -69,8 +67,7 @@ fn fig3_shape_utilization_trends() {
         threads: 0,
     };
     let policy = WcetPolicy::ChebyshevUniform { n: 10.0 };
-    let pts =
-        evaluate_policy_over_utilization(&[0.4, 0.6, 0.8], &policy, &batch).unwrap();
+    let pts = evaluate_policy_over_utilization(&[0.4, 0.6, 0.8], &policy, &batch).unwrap();
     assert!(pts[0].mean_p_ms < pts[1].mean_p_ms);
     assert!(pts[1].mean_p_ms < pts[2].mean_p_ms);
     assert!(pts[0].mean_max_u_lc_lo > pts[2].mean_max_u_lc_lo);

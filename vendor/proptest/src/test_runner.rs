@@ -1,0 +1,112 @@
+//! Test-runner plumbing: configuration, the deterministic RNG, and the
+//! rejection marker used by `prop_assume!`.
+
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by a test body when `prop_assume!` rejects the case.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// The deterministic RNG driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// The underlying generator.
+    pub rng: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// The fixed-seed RNG used by every `proptest!` test, so runs are
+    /// reproducible.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TestRng {
+            rng: rand::rngs::StdRng::seed_from_u64(0x5EED_CAFE_F00D),
+        }
+    }
+}
+
+#[cfg(test)]
+mod self_tests {
+    use crate::prelude::*;
+    use crate::strategy::Just;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in 0.25..=0.75f64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_bounds(xs in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u64..5).prop_map(|v| v * 2),
+            (10u64..15).prop_map(|v| v + 1),
+        ]) {
+            prop_assert!(x < 10 && x % 2 == 0 || (11..16).contains(&x));
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(u64),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_nest_to_bounded_depth(
+            t in (0u64..100).prop_map(Tree::Leaf).prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        #[test]
+        fn flat_map_threads_values(pair in (1u64..10).prop_flat_map(|n| (Just(n), 0u64..n))) {
+            let (n, k) = pair;
+            prop_assert!(k < n);
+        }
+    }
+}

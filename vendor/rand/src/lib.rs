@@ -1,0 +1,290 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal, dependency-free implementation of the
+//! exact `rand 0.9` API surface it uses:
+//!
+//! * [`Rng::random`] (only `f64` is exercised, but integers and `bool`
+//!   are supported too),
+//! * [`Rng::random_range`] over half-open and inclusive ranges of the
+//!   common integer types and `f64`,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`].
+//!
+//! `StdRng` is a xoshiro256++ generator seeded through SplitMix64 — a
+//! different stream than upstream's ChaCha12, but with the same
+//! determinism guarantees (identical seed → identical sequence on every
+//! platform), which is all the workspace relies on.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (`[0, 1)` for floats, full range for integers).
+    fn random<T: distr::StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn random_range<T, R: distr::SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Samples a `bool` that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        <f64 as distr::StandardUniform>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed. Identical seeds yield
+    /// identical streams on every platform.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Distribution plumbing behind [`Rng::random`] and [`Rng::random_range`].
+pub mod distr {
+    use super::RngCore;
+
+    /// Types samplable by [`super::Rng::random`].
+    pub trait StandardUniform: Sized {
+        /// Draws one value from the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardUniform for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 random mantissa bits -> uniform on [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardUniform for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges samplable by [`super::Rng::random_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Maps a random word onto `[0, span)` with the widening-multiply
+    /// method (negligible bias for the span sizes used here).
+    fn index(word: u64, span: u64) -> u64 {
+        ((u128::from(word) * u128::from(span)) >> 64) as u64
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(index(rng.next_u64(), span) as $t)
+                }
+            }
+            impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: every word is a valid sample.
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(index(rng.next_u64(), span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit = f64::sample_standard(rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            start + unit * (end - start)
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            let unit = f32::sample_standard(rng);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via SplitMix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut state);
+            }
+            // A state of all zeros is the one fixed point of xoshiro;
+            // SplitMix64 cannot produce it from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_seeds_yield_identical_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<f64>(), b.random::<f64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..8).map(|_| a.random::<f64>()).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.random::<f64>()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn unit_samples_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_samples_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let a = rng.random_range(10u64..20);
+            assert!((10..20).contains(&a));
+            let b = rng.random_range(3usize..=5);
+            assert!((3..=5).contains(&b));
+            let c = rng.random_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&c));
+            let d = rng.random_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&d));
+            let e = rng.random_range(-4i32..4);
+            assert!((-4..4).contains(&e));
+        }
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_centered() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

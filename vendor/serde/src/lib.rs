@@ -1,0 +1,376 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serialization framework with the same
+//! surface syntax as serde: `#[derive(Serialize, Deserialize)]` plus the
+//! `#[serde(default)]` field attribute, with `serde_json`-compatible
+//! data conventions (externally tagged enums, newtype structs as their
+//! inner value, `Option` as value-or-null, missing `Option` fields as
+//! `None`, unknown fields ignored).
+//!
+//! Unlike real serde there is no `Serializer`/`Deserializer` abstraction:
+//! values convert to and from the JSON-shaped [`Value`] tree, which is
+//! all this workspace (whose only format is JSON) needs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Number, Value};
+
+use std::fmt;
+
+/// Conversion into the JSON-shaped [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the JSON-shaped [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Hook invoked by derived impls when a field is absent. The default
+    /// is an error; `Option<T>` overrides it to produce `None`, matching
+    /// serde's implicitly-optional `Option` fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a "missing field" [`DeError`] unless overridden.
+    #[doc(hidden)]
+    fn missing_field(field: &'static str, ty: &'static str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field, ty))
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error with a custom message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "Expected \<shape\> while deserializing \<type\>".
+    #[must_use]
+    pub fn expected(shape: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("expected {shape} while deserializing {ty}"),
+        }
+    }
+
+    /// "Missing field \<field\> in \<type\>".
+    #[must_use]
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{field}` in {ty}"),
+        }
+    }
+
+    /// "Unknown variant \<variant\> for \<type\>".
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{variant}` for {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected("unsigned integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &'static str, _ty: &'static str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", "Vec")),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:expr; $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::expected(
+                        concat!("array of length ", stringify!($len)),
+                        "tuple",
+                    )),
+                }
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (2; A.0, B.1)
+    (3; A.0, B.1, C.2)
+    (4; A.0, B.1, C.2, D.3)
+    (5; A.0, B.1, C.2, D.3, E.4)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_defaults_to_none() {
+        let got: Result<Option<u32>, _> = Deserialize::missing_field("x", "T");
+        assert_eq!(got, Ok(None));
+        let got: Result<u32, _> = Deserialize::missing_field("x", "T");
+        assert!(got.is_err());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-42i64).to_value()), Ok(-42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn tuples_round_trip_as_arrays() {
+        let v = (1u64, 2.5f64).to_value();
+        assert!(matches!(&v, Value::Array(items) if items.len() == 2));
+        assert_eq!(<(u64, f64)>::from_value(&v), Ok((1, 2.5)));
+    }
+
+    #[test]
+    fn unsigned_rejects_negative_and_fractional() {
+        assert!(u64::from_value(&(-1i64).to_value()).is_err());
+        assert!(u64::from_value(&Value::Number(Number::Float(1.5))).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! The JSON-shaped value tree shared by `serde` and `serde_json`.
+
+/// A JSON number: unsigned, signed-negative, or floating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The number as an `f64` (lossy for very large integers).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(x) => x,
+        }
+    }
+
+    /// The number as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// A JSON document. Object fields keep insertion order so that
+/// serialized structs list fields in declaration order, like serde_json
+/// serializing a struct directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as ordered key–value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object's fields, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array's items, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field by key, if this is an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// `true` when this is `Value::Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}

@@ -1,0 +1,471 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde::Serialize` / `serde::Deserialize` traits
+//! (JSON-`Value`-based) without depending on `syn`/`quote`: the item is
+//! parsed directly from the `proc_macro::TokenStream` and the impls are
+//! emitted as source strings.
+//!
+//! Field **types are never parsed** — generated code routes every field
+//! through `serde::Serialize::to_value` / `serde::Deserialize::from_value`
+//! and lets type inference resolve the impl. Supported shapes: named /
+//! tuple / unit structs and enums with unit, tuple, and struct variants
+//! (externally tagged, serde_json conventions). The only recognised field
+//! attribute is `#[serde(default)]`. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // attribute: '#' + [..]
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                return parse_struct(&toks, i + 1);
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return parse_enum(&toks, i + 1);
+            }
+            _ => i += 1, // visibility and other modifiers
+        }
+    }
+    panic!("serde_derive: expected a struct or enum");
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> String {
+    match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, found `{other}`"),
+    }
+}
+
+fn parse_struct(toks: &[TokenTree], i: usize) -> Input {
+    let name = ident_at(toks, i);
+    let kind = match toks.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic types are not supported (type `{name}`)")
+        }
+        other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+    };
+    Input { name, kind }
+}
+
+fn parse_enum(toks: &[TokenTree], i: usize) -> Input {
+    let name = ident_at(toks, i);
+    let body = match toks.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic types are not supported (type `{name}`)")
+        }
+        other => panic!("serde_derive: expected enum body, found {other:?}"),
+    };
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attributes(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = ident_at(&toks, i);
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the comma separating variants (covers `= discr` too).
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    Input {
+        name,
+        kind: Kind::Enum(variants),
+    }
+}
+
+/// Skips `#[...]` attributes starting at `i`, returning whether any of
+/// them was `#[serde(default)]` alongside the new cursor.
+fn scan_attributes(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut has_default = false;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+                    let body = g.stream().to_string();
+                    let compact: String = body.chars().filter(|c| !c.is_whitespace()).collect();
+                    if compact.starts_with("serde(") && compact.contains("default") {
+                        has_default = true;
+                    }
+                    i += 2;
+                } else {
+                    panic!("serde_derive: malformed attribute");
+                }
+            }
+            _ => break,
+        }
+    }
+    (i, has_default)
+}
+
+fn skip_attributes(toks: &[TokenTree], i: usize) -> usize {
+    scan_attributes(toks, i).0
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (next, has_default) = scan_attributes(&toks, i);
+        i = next;
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_visibility(&toks, i);
+        let name = ident_at(&toks, i);
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found `{other}`"),
+        }
+        i = skip_type(&toks, i);
+        fields.push(Field { name, has_default });
+    }
+    fields
+}
+
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        // `pub(crate)` / `pub(super)` / `pub(in ...)`
+        if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Advances past a type up to (and including) the next top-level comma,
+/// tracking `<`/`>` nesting so commas inside generics don't terminate.
+fn skip_type(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Counts comma-separated fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attributes(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_visibility(&toks, i);
+        i = skip_type(&toks, i);
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("let mut __fields = Vec::new();\n{pushes}serde::Value::Object(__fields)")
+        }
+        Kind::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| gen_serialize_variant(name, v))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_serialize_variant(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => format!("{ty}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n"),
+        Shape::Tuple(1) => format!(
+            "{ty}::{vn}(__f0) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+             serde::Serialize::to_value(__f0))]),\n"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("serde::Serialize::to_value({b})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({binds}) => serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                 serde::Value::Array(vec![{items}]))]),\n",
+                binds = binds.join(", "),
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__inner.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => {{\n\
+                     let mut __inner = Vec::new();\n{pushes}\
+                     serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(__inner))])\n\
+                 }}\n",
+                binds = binds.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits = gen_named_field_inits(name, fields, "__fields");
+            format!(
+                "let __fields = match __v {{\n\
+                     serde::Value::Object(__fields) => __fields,\n\
+                     _ => return Err(serde::DeError::expected(\"object\", \"{name}\")),\n\
+                 }};\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = match __v {{\n\
+                     serde::Value::Array(__arr) if __arr.len() == {n} => __arr,\n\
+                     _ => return Err(serde::DeError::expected(\"array of length {n}\", \"{name}\")),\n\
+                 }};\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("let _ = __v;\nOk({name})"),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_field_inits(ty: &str, fields: &[Field], obj: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            let missing = if f.has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("serde::Deserialize::missing_field(\"{n}\", \"{ty}\")?")
+            };
+            format!(
+                "{n}: match {obj}.iter().find(|(__k, _)| __k == \"{n}\") {{\n\
+                     Some((_, __fv)) => serde::Deserialize::from_value(__fv)?,\n\
+                     None => {missing},\n\
+                 }},\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize_enum(ty: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{vn}\" => Ok({ty}::{vn}),\n", vn = v.name))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| gen_deserialize_variant(ty, v))
+        .collect();
+    format!(
+        "match __v {{\n\
+             serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(serde::DeError::unknown_variant(__other, \"{ty}\")),\n\
+             }},\n\
+             serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__tagged[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\
+                     __other => Err(serde::DeError::unknown_variant(__other, \"{ty}\")),\n\
+                 }}\n\
+             }}\n\
+             _ => Err(serde::DeError::expected(\n\
+                 \"string or single-key object\", \"{ty}\")),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_variant(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled in the string arm"),
+        Shape::Tuple(1) => {
+            format!("\"{vn}\" => Ok({ty}::{vn}(serde::Deserialize::from_value(__inner)?)),\n")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "\"{vn}\" => {{\n\
+                     let __arr = match __inner {{\n\
+                         serde::Value::Array(__arr) if __arr.len() == {n} => __arr,\n\
+                         _ => return Err(serde::DeError::expected(\n\
+                             \"array of length {n}\", \"{ty}::{vn}\")),\n\
+                     }};\n\
+                     Ok({ty}::{vn}({items}))\n\
+                 }}\n",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits = gen_named_field_inits(&format!("{ty}::{vn}"), fields, "__vfields");
+            format!(
+                "\"{vn}\" => {{\n\
+                     let __vfields = match __inner {{\n\
+                         serde::Value::Object(__vfields) => __vfields,\n\
+                         _ => return Err(serde::DeError::expected(\"object\", \"{ty}::{vn}\")),\n\
+                     }};\n\
+                     Ok({ty}::{vn} {{\n{inits}}})\n\
+                 }}\n"
+            )
+        }
+    }
+}
