@@ -1,0 +1,303 @@
+//! GA hot-path performance tracking: before/after wall-clock and
+//! evaluations-per-second for `solve_ga` on a default `GaConfig` WCET
+//! problem, emitted machine-readably to `BENCH_ga.json`.
+//!
+//! Three configurations are timed:
+//!
+//! * `baseline_serial` — a frozen copy of the pre-optimization GA
+//!   (clone-heavy `Vec<Vec<f64>>` population, full sort for elitism, no
+//!   memoization, serial evaluation), kept here so the perf trajectory
+//!   is measurable on any machine without checking out old commits.
+//! * `new_serial` — the current allocation-free, memoized GA pinned to
+//!   one thread.
+//! * `new_parallel` — the same GA on all available cores.
+//!
+//! The new GA consumes RNG draws in the same order as the baseline, so
+//! all three must return bit-identical factors — the run aborts if not.
+//!
+//! Run: `cargo run -p chebymc-bench --release --bin ga_perf`
+//! Output path override: `CHEBYMC_BENCH_GA_JSON=/path/to/out.json`
+
+use mc_opt::ga::{optimize, GaConfig, GaResult, GeneBounds};
+use mc_opt::{ProblemConfig, WcetProblem};
+use mc_task::generate::{generate_hc_taskset, GeneratorConfig};
+use rand::SeedableRng;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Frozen pre-optimization GA, bit-compatible with the current one.
+mod baseline {
+    use mc_opt::ga::{GaConfig, GaResult, GeneBounds, GenerationStats};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn sample<R: Rng + ?Sized>(b: &GeneBounds, rng: &mut R) -> f64 {
+        if b.hi > b.lo {
+            rng.random_range(b.lo..=b.hi)
+        } else {
+            b.lo
+        }
+    }
+
+    fn tournament<R: Rng + ?Sized>(scores: &[f64], k: usize, rng: &mut R) -> usize {
+        let mut winner = rng.random_range(0..scores.len());
+        for _ in 1..k {
+            let challenger = rng.random_range(0..scores.len());
+            if scores[challenger] > scores[winner] {
+                winner = challenger;
+            }
+        }
+        winner
+    }
+
+    fn two_point_crossover<R: Rng + ?Sized>(a: &mut [f64], b: &mut [f64], rng: &mut R) {
+        let n = a.len();
+        if n == 1 {
+            std::mem::swap(&mut a[0], &mut b[0]);
+            return;
+        }
+        let mut p1 = rng.random_range(0..n);
+        let mut p2 = rng.random_range(0..n);
+        if p1 > p2 {
+            std::mem::swap(&mut p1, &mut p2);
+        }
+        for i in p1..=p2 {
+            std::mem::swap(&mut a[i], &mut b[i]);
+        }
+    }
+
+    pub fn optimize<F>(bounds: &[GeneBounds], fitness: F, cfg: &GaConfig) -> GaResult
+    where
+        F: Fn(&[f64]) -> f64,
+    {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let genes = bounds.len();
+        let eval = |c: &[f64]| {
+            let f = fitness(c);
+            if f.is_finite() {
+                f
+            } else {
+                f64::NEG_INFINITY
+            }
+        };
+
+        let mut population: Vec<Vec<f64>> = (0..cfg.population_size)
+            .map(|_| bounds.iter().map(|b| sample(b, &mut rng)).collect())
+            .collect();
+        let mut scores: Vec<f64> = population.iter().map(|c| eval(c)).collect();
+
+        let mut best = population[0].clone();
+        let mut best_fitness = scores[0];
+        let mut history = Vec::with_capacity(cfg.generations);
+
+        for generation in 0..cfg.generations {
+            let mut gen_best = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            for (c, &s) in population.iter().zip(&scores) {
+                if s > best_fitness {
+                    best_fitness = s;
+                    best = c.clone();
+                }
+                gen_best = gen_best.max(s);
+                sum += if s.is_finite() { s } else { 0.0 };
+            }
+            history.push(GenerationStats {
+                generation,
+                best: gen_best,
+                mean: sum / population.len() as f64,
+            });
+
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
+            let mut next: Vec<Vec<f64>> = order
+                .iter()
+                .take(cfg.elitism)
+                .map(|&i| population[i].clone())
+                .collect();
+
+            while next.len() < cfg.population_size {
+                let a = tournament(&scores, cfg.tournament_size, &mut rng);
+                let b = tournament(&scores, cfg.tournament_size, &mut rng);
+                let (mut child1, mut child2) = (population[a].clone(), population[b].clone());
+                if rng.random::<f64>() < cfg.crossover_probability {
+                    two_point_crossover(&mut child1, &mut child2, &mut rng);
+                }
+                for child in [&mut child1, &mut child2] {
+                    if rng.random::<f64>() < cfg.mutation_probability {
+                        let g = rng.random_range(0..genes);
+                        child[g] = sample(&bounds[g], &mut rng);
+                    }
+                    for (x, b) in child.iter_mut().zip(bounds) {
+                        *x = x.clamp(b.lo, b.hi);
+                    }
+                }
+                next.push(child1);
+                if next.len() < cfg.population_size {
+                    next.push(child2);
+                }
+            }
+            population = next;
+            scores = population.iter().map(|c| eval(c)).collect();
+        }
+
+        for (c, &s) in population.iter().zip(&scores) {
+            if s > best_fitness {
+                best_fitness = s;
+                best = c.clone();
+            }
+        }
+
+        GaResult {
+            best,
+            best_fitness,
+            history,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct RunRecord {
+    name: String,
+    threads: usize,
+    wall_s: f64,
+    objective_evals: u64,
+    evals_per_sec: f64,
+    best_fitness: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    machine_threads: usize,
+    repeats: usize,
+    hc_tasks: usize,
+    population_size: usize,
+    generations: usize,
+    runs: Vec<RunRecord>,
+    speedup_new_serial_vs_baseline: f64,
+    speedup_parallel_vs_new_serial: f64,
+    speedup_parallel_vs_baseline: f64,
+    results_bit_identical: bool,
+}
+
+fn time_best<F: FnMut() -> (GaResult, u64)>(repeats: usize, mut run: F) -> (GaResult, u64, f64) {
+    let mut best_wall = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let (result, evals) = run();
+        let wall = start.elapsed().as_secs_f64();
+        best_wall = best_wall.min(wall);
+        out = Some((result, evals));
+    }
+    let (result, evals) = out.expect("repeats >= 1");
+    (result, evals, best_wall)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let repeats: usize = std::env::var("CHEBYMC_GA_REPEATS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    // A realistic problem: a synthetic HC task set at U_HC^HI = 0.7 with
+    // the paper's generator defaults, solved by a default GaConfig
+    // (pop = 64, gens = 80 — the §V settings).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let ts = generate_hc_taskset(0.7, &GeneratorConfig::default(), &mut rng)?;
+    let problem = WcetProblem::from_taskset(&ts, ProblemConfig::default())?;
+    let bounds: Vec<GeneBounds> = problem.bounds()?;
+    let cfg = GaConfig::default();
+
+    println!(
+        "GA perf: {} HC tasks, pop {} x gens {}, {} repeats, {} core(s)\n",
+        problem.dimension(),
+        cfg.population_size,
+        cfg.generations,
+        repeats,
+        machine_threads
+    );
+
+    let evals = AtomicU64::new(0);
+    let objective = |c: &[f64]| {
+        evals.fetch_add(1, Ordering::Relaxed);
+        problem.objective(c).fitness
+    };
+
+    let mut runs = Vec::new();
+    let mut results: Vec<GaResult> = Vec::new();
+    type Runner<'a> = Box<dyn Fn() -> GaResult + 'a>;
+    let configs: Vec<(&str, usize, Runner)> = vec![
+        (
+            "baseline_serial",
+            1,
+            Box::new(|| baseline::optimize(&bounds, objective, &cfg)),
+        ),
+        (
+            "new_serial",
+            1,
+            Box::new(|| optimize(&bounds, objective, &GaConfig { threads: 1, ..cfg }).unwrap()),
+        ),
+        (
+            "new_parallel",
+            machine_threads,
+            Box::new(|| optimize(&bounds, objective, &GaConfig { threads: 0, ..cfg }).unwrap()),
+        ),
+    ];
+    for (name, threads, run) in configs {
+        let (result, n_evals, wall) = time_best(repeats, || {
+            evals.store(0, Ordering::Relaxed);
+            let r = run();
+            (r, evals.load(Ordering::Relaxed))
+        });
+        let evals_per_sec = n_evals as f64 / wall;
+        println!(
+            "{name:>16}: {:.1} ms wall, {n_evals} objective evals, {:.0} evals/s",
+            wall * 1e3,
+            evals_per_sec
+        );
+        runs.push(RunRecord {
+            name: name.to_string(),
+            threads,
+            wall_s: wall,
+            objective_evals: n_evals,
+            evals_per_sec,
+            best_fitness: result.best_fitness,
+        });
+        results.push(result);
+    }
+
+    let identical = results.iter().all(|r| *r == results[0]);
+    assert!(
+        identical,
+        "GaResults diverged across implementations/thread counts"
+    );
+
+    let wall = |name: &str| {
+        runs.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.wall_s)
+            .expect("run recorded")
+    };
+    let report = BenchReport {
+        machine_threads,
+        repeats,
+        hc_tasks: problem.dimension(),
+        population_size: cfg.population_size,
+        generations: cfg.generations,
+        speedup_new_serial_vs_baseline: wall("baseline_serial") / wall("new_serial"),
+        speedup_parallel_vs_new_serial: wall("new_serial") / wall("new_parallel"),
+        speedup_parallel_vs_baseline: wall("baseline_serial") / wall("new_parallel"),
+        results_bit_identical: identical,
+        runs,
+    };
+
+    let path = std::env::var("CHEBYMC_BENCH_GA_JSON").unwrap_or_else(|_| "BENCH_ga.json".into());
+    std::fs::write(&path, serde_json::to_string_pretty(&report)? + "\n")?;
+    println!(
+        "\nnew_serial vs baseline: {:.2}x   parallel vs new_serial: {:.2}x   (written to {path})",
+        report.speedup_new_serial_vs_baseline, report.speedup_parallel_vs_new_serial
+    );
+    Ok(())
+}

@@ -45,7 +45,9 @@ pub struct MultiMetrics {
 /// The multi-level Chebyshev scheme.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiScheme {
-    /// GA hyper-parameters for the per-mode factor search.
+    /// GA hyper-parameters for the per-mode factor search. `ga.threads`
+    /// parallelises the fitness evaluation; results are bit-identical for
+    /// any thread count.
     pub ga: GaConfig,
     /// Upper cap on any factor.
     pub factor_cap: f64,

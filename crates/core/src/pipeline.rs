@@ -25,9 +25,12 @@ pub struct BatchConfig {
     pub seed: u64,
     /// Synthetic-workload parameters.
     pub generator: GeneratorConfig,
-    /// Worker threads for the per-set loop (`0` = all available cores).
-    /// Results are bit-identical for any thread count — every set draws
-    /// from its own derived seed.
+    /// Total thread budget for the batch (`0` = all available cores),
+    /// governing *both* parallelism layers: the per-set fan-out and each
+    /// set's inner GA evaluation share this one budget, so nesting never
+    /// oversubscribes. Results are bit-identical for any thread count —
+    /// every set draws from its own derived seed, and the GA keeps its
+    /// RNG on a single serial stream.
     #[serde(default)]
     pub threads: usize,
 }
@@ -64,43 +67,34 @@ impl BatchConfig {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// Builds the batch layer's worker pool and the per-set inner thread
+    /// count. The `threads` knob is a single budget governing *both*
+    /// parallelism layers: it is split across the per-set fan-out first
+    /// (the wider, better-balanced axis), and whatever is left over goes
+    /// to each set's inner GA evaluation — so batch × GA can never
+    /// oversubscribe the machine. A pipeline creates the pool once and
+    /// reuses it across all its utilisation points.
+    fn make_pool(&self) -> (mc_par::WorkerPool, usize) {
+        let (outer, inner) = mc_par::ThreadBudget::explicit(self.threads).split(self.task_sets);
+        (mc_par::WorkerPool::new(outer), inner.get())
+    }
 }
 
-/// Evaluates `f(set_index)` for every set in the batch, fanning out over
-/// `batch.threads` workers. Order and values are independent of the thread
-/// count; the first error (by set index) wins.
-fn map_sets<R, F>(batch: &BatchConfig, f: F) -> Result<Vec<R>, CoreError>
+/// Evaluates `f(set_index)` for every set in the batch on `pool`. Order
+/// and values are independent of the thread count; the first error (by
+/// set index) wins.
+fn map_sets<R, F>(pool: &mc_par::WorkerPool, count: usize, f: F) -> Result<Vec<R>, CoreError>
 where
     R: Send,
     F: Fn(usize) -> Result<R, CoreError> + Sync,
 {
-    let count = batch.task_sets;
-    let threads = if batch.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        batch.threads
-    }
-    .min(count.max(1));
-    if threads <= 1 {
-        return (0..count).map(f).collect();
-    }
-    let mut slots: Vec<Option<Result<R, CoreError>>> = (0..count).map(|_| None).collect();
-    let chunk = count.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, slice) in slots.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move || {
-                for (i, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(t * chunk + i));
-                }
-            });
-        }
-    });
+    let mut slots: Vec<Option<Result<R, CoreError>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    pool.fill(&mut slots, |i| Some(f(i)));
     slots
         .into_iter()
-        .map(|r| r.expect("every slot is written by its worker"))
+        .map(|r| r.expect("fill writes every slot"))
         .collect()
 }
 
@@ -117,15 +111,20 @@ fn lint_policy(policy: &WcetPolicy) -> Result<(), CoreError> {
 }
 
 /// Re-seeds a policy's internal randomness so every task set in a batch
-/// gets an independent draw.
-fn reseed(policy: &WcetPolicy, seed: u64) -> WcetPolicy {
+/// gets an independent draw, and pins the policy's inner parallelism to
+/// the batch's per-set thread budget (see [`BatchConfig::make_pool`]).
+fn reseed(policy: &WcetPolicy, seed: u64, inner_threads: usize) -> WcetPolicy {
     match policy {
         WcetPolicy::LambdaRange { lambda_min, .. } => WcetPolicy::LambdaRange {
             lambda_min: *lambda_min,
             seed,
         },
         WcetPolicy::ChebyshevGa { ga, problem } => WcetPolicy::ChebyshevGa {
-            ga: mc_opt::GaConfig { seed, ..*ga },
+            ga: mc_opt::GaConfig {
+                seed,
+                threads: inner_threads,
+                ..*ga
+            },
             problem: *problem,
         },
         other => other.clone(),
@@ -165,14 +164,15 @@ pub fn evaluate_policy_over_utilization(
             reason: "at least one utilisation point is required",
         });
     }
+    let (pool, inner_threads) = batch.make_pool();
     let mut out = Vec::with_capacity(u_values.len());
     for (pi, &u) in u_values.iter().enumerate() {
-        let per_set = map_sets(batch, |si| {
+        let per_set = map_sets(&pool, batch.task_sets, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
             let mut ts =
                 generate_hc_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?;
-            reseed(policy, seed).assign(&mut ts)?;
+            reseed(policy, seed, inner_threads).assign(&mut ts)?;
             let m = design_metrics(&ts)?;
             Ok((m.p_ms, m.max_u_lc_lo, m.objective))
         })?;
@@ -247,14 +247,15 @@ pub fn acceptance_ratio(
             });
         }
     }
+    let (pool, inner_threads) = batch.make_pool();
     let mut out = Vec::with_capacity(u_bounds.len());
     for (pi, &u) in u_bounds.iter().enumerate() {
-        let verdicts = map_sets(batch, |si| {
+        let verdicts = map_sets(&pool, batch.task_sets, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
             let mut ts =
                 generate_mixed_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?;
-            reseed(policy, seed).assign(&mut ts)?;
+            reseed(policy, seed, inner_threads).assign(&mut ts)?;
             Ok(approach.schedulable(&ts))
         })?;
         let accepted = verdicts.iter().filter(|&&ok| ok).count();
@@ -293,15 +294,16 @@ pub fn acceptance_ratio_lo_bounded(
             reason: "at least one utilisation point is required",
         });
     }
+    let (pool, inner_threads) = batch.make_pool();
     let mut out = Vec::with_capacity(u_bounds.len());
     for (pi, &u) in u_bounds.iter().enumerate() {
-        let verdicts = map_sets(batch, |si| {
+        let verdicts = map_sets(&pool, batch.task_sets, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
             let mut ts = generate_lo_bounded_taskset(u, lambda_range, &batch.generator, &mut rng)
                 .map_err(CoreError::Task)?;
             if let Some(policy) = scheme {
-                reseed(policy, seed).assign(&mut ts)?;
+                reseed(policy, seed, inner_threads).assign(&mut ts)?;
             }
             Ok(approach.schedulable(&ts))
         })?;
@@ -343,6 +345,27 @@ mod tests {
             acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &single).unwrap();
         let rb = acceptance_ratio(&us, &policy, SchedulingApproach::BaruahDropAll, &many).unwrap();
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn ga_policy_results_are_identical_for_any_thread_count() {
+        // The nested case: the batch budget splits across the per-set
+        // fan-out and the GA's inner evaluation. Whatever the split,
+        // every set's GA must follow the same serial RNG stream.
+        let us = [0.6];
+        let runs: Vec<_> = [1usize, 2, 0]
+            .iter()
+            .map(|&threads| {
+                let batch = BatchConfig {
+                    threads,
+                    task_sets: 6,
+                    ..small_batch()
+                };
+                evaluate_policy_over_utilization(&us, &fast_ga_policy(), &batch).unwrap()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
     }
 
     fn fast_ga_policy() -> WcetPolicy {

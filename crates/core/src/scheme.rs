@@ -31,7 +31,10 @@ use serde::{Deserialize, Serialize};
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct ChebyshevScheme {
-    /// GA hyper-parameters (paper §V defaults).
+    /// GA hyper-parameters (paper §V defaults). `ga.threads` controls the
+    /// fitness-evaluation parallelism of a standalone design; batch
+    /// pipelines override it with their per-set budget (see
+    /// [`crate::pipeline::BatchConfig::threads`]).
     pub ga: GaConfig,
     /// Factor search-space configuration.
     pub problem: ProblemConfig,

@@ -176,6 +176,7 @@ mod tests {
             tournament_size: 0,
             elitism: 5,
             seed: 0,
+            threads: 0,
         };
         let report = lint_ga_config(&cfg);
         for code in [Code::S001, Code::S002, Code::S004, Code::S005] {

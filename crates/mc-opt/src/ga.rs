@@ -5,8 +5,27 @@
 //! with five participants (§V: `p_c = 0.8`, `p_m = 0.2`). This module
 //! implements exactly that algorithm over bounded real-valued chromosomes,
 //! generic in the fitness function, fully deterministic per seed.
+//!
+//! # Hot-path architecture
+//!
+//! The inner loop is allocation-free and parallel:
+//!
+//! * The population lives in one flat strided `Vec<f64>` (individual `i`
+//!   occupies `[i·genes, (i+1)·genes)`), double-buffered across
+//!   generations — variation writes offspring straight into the back
+//!   buffer and the buffers swap, so no per-individual `Vec` is ever
+//!   cloned.
+//! * Fitness evaluation fans out over a shared [`mc_par::WorkerPool`]
+//!   (`F: Sync`); all randomness stays confined to the serial variation
+//!   phase, so results are **bit-identical for any thread count**
+//!   ([`GaConfig::threads`]).
+//! * A genome-keyed memo cache skips re-evaluating elites (their scores
+//!   are carried over structurally) and duplicate chromosomes produced by
+//!   selection without crossover or mutation — a growing fraction of each
+//!   generation as the population converges.
 
 use crate::OptError;
+use mc_par::{ThreadBudget, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -65,6 +84,14 @@ pub struct GaConfig {
     pub elitism: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for fitness evaluation: `0` = all available cores,
+    /// `1` = serial. A pure performance knob — results are bit-identical
+    /// for any value because the RNG never leaves the serial variation
+    /// phase. Batch pipelines that already fan out over task sets force
+    /// this to their per-job [`mc_par::ThreadBudget`] (usually 1) so the
+    /// two layers never oversubscribe the machine.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for GaConfig {
@@ -77,6 +104,7 @@ impl Default for GaConfig {
             tournament_size: 5,
             elitism: 2,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -156,7 +184,31 @@ pub struct GaResult {
 /// ```
 pub fn optimize<F>(bounds: &[GeneBounds], fitness: F, cfg: &GaConfig) -> Result<GaResult, OptError>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    cfg.validate()?;
+    if bounds.is_empty() {
+        return Err(OptError::EmptyChromosome);
+    }
+    let pool = WorkerPool::with_budget(ThreadBudget::explicit(cfg.threads));
+    optimize_with_pool(bounds, fitness, cfg, &pool)
+}
+
+/// [`optimize`] on a caller-supplied [`WorkerPool`], for callers that run
+/// many GA instances and want to reuse one pool (and its thread budget)
+/// across all of them. `cfg.threads` is ignored; the pool decides.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+pub fn optimize_with_pool<F>(
+    bounds: &[GeneBounds],
+    fitness: F,
+    cfg: &GaConfig,
+    pool: &WorkerPool,
+) -> Result<GaResult, OptError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
 {
     cfg.validate()?;
     if bounds.is_empty() {
@@ -164,22 +216,30 @@ where
     }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let genes = bounds.len();
-    let eval = |c: &[f64]| {
-        let f = fitness(c);
-        if f.is_finite() {
-            f
-        } else {
-            f64::NEG_INFINITY
-        }
-    };
+    let pop_n = cfg.population_size;
+
+    // Flat strided population, double-buffered: `pop` is the current
+    // generation, `next` the one under construction. Scores ride along in
+    // matching buffers so elite fitness carries over without re-evaluation.
+    let mut pop = vec![0.0f64; pop_n * genes];
+    let mut next = vec![0.0f64; pop_n * genes];
+    let mut scores = vec![0.0f64; pop_n];
+    let mut next_scores = vec![0.0f64; pop_n];
+    // Overflow slot: the last pair's second child when the remaining room
+    // is odd. It is bred (and consumes RNG draws) but never admitted.
+    let mut spare = vec![0.0f64; genes];
+    let mut order: Vec<usize> = Vec::with_capacity(pop_n);
 
     // Initial population: uniformly sampled within bounds.
-    let mut population: Vec<Vec<f64>> = (0..cfg.population_size)
-        .map(|_| bounds.iter().map(|b| b.sample(&mut rng)).collect())
-        .collect();
-    let mut scores: Vec<f64> = population.iter().map(|c| eval(c)).collect();
+    for chromosome in pop.chunks_exact_mut(genes) {
+        for (x, b) in chromosome.iter_mut().zip(bounds) {
+            *x = b.sample(&mut rng);
+        }
+    }
+    let mut evaluator = Evaluator::new();
+    evaluator.evaluate(pool, &fitness, &pop, genes, &mut scores, 0);
 
-    let mut best = population[0].clone();
+    let mut best = pop[..genes].to_vec();
     let mut best_fitness = scores[0];
     let mut history = Vec::with_capacity(cfg.generations);
 
@@ -187,10 +247,10 @@ where
         // Track statistics and the all-time best.
         let mut gen_best = f64::NEG_INFINITY;
         let mut sum = 0.0;
-        for (c, &s) in population.iter().zip(&scores) {
+        for (c, &s) in pop.chunks_exact(genes).zip(&scores) {
             if s > best_fitness {
                 best_fitness = s;
-                best = c.clone();
+                best.copy_from_slice(c);
             }
             gen_best = gen_best.max(s);
             sum += if s.is_finite() { s } else { 0.0 };
@@ -198,27 +258,55 @@ where
         history.push(GenerationStats {
             generation,
             best: gen_best,
-            mean: sum / population.len() as f64,
+            mean: sum / pop_n as f64,
         });
 
-        // Elitism: carry the top individuals over unchanged.
-        let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite scores"));
-        let mut next: Vec<Vec<f64>> = order
-            .iter()
-            .take(cfg.elitism)
-            .map(|&i| population[i].clone())
-            .collect();
+        // Elitism: carry the top individuals over unchanged, scores
+        // included. `select_nth_unstable_by` partitions the top `elitism`
+        // in O(n) instead of sorting the whole population; ties break by
+        // index so the elite set (and its order, restored by the small
+        // sort below) matches a stable full descending sort.
+        let elites = cfg.elitism;
+        order.clear();
+        order.extend(0..pop_n);
+        let by_score_desc = |&a: &usize, &b: &usize| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores are sanitized, never NaN")
+                .then(a.cmp(&b))
+        };
+        if elites > 0 {
+            if elites < pop_n {
+                order.select_nth_unstable_by(elites - 1, by_score_desc);
+            }
+            order[..elites].sort_unstable_by(by_score_desc);
+        }
+        for (slot, &i) in order[..elites].iter().enumerate() {
+            next[slot * genes..(slot + 1) * genes]
+                .copy_from_slice(&pop[i * genes..(i + 1) * genes]);
+            next_scores[slot] = scores[i];
+        }
 
-        // Fill the rest via tournament selection + variation.
-        while next.len() < cfg.population_size {
+        // Fill the rest via tournament selection + variation. All RNG
+        // draws happen here, on one serial stream.
+        let mut filled = elites;
+        while filled < pop_n {
             let a = tournament(&scores, cfg.tournament_size, &mut rng);
             let b = tournament(&scores, cfg.tournament_size, &mut rng);
-            let (mut child1, mut child2) = (population[a].clone(), population[b].clone());
+            let paired = filled + 1 < pop_n;
+            let (head, tail) = next.split_at_mut((filled + 1) * genes);
+            let child1 = &mut head[filled * genes..];
+            let child2: &mut [f64] = if paired {
+                &mut tail[..genes]
+            } else {
+                &mut spare[..]
+            };
+            child1.copy_from_slice(&pop[a * genes..(a + 1) * genes]);
+            child2.copy_from_slice(&pop[b * genes..(b + 1) * genes]);
             if rng.random::<f64>() < cfg.crossover_probability {
-                two_point_crossover(&mut child1, &mut child2, &mut rng);
+                two_point_crossover(child1, child2, &mut rng);
             }
-            for child in [&mut child1, &mut child2] {
+            for child in [&mut *child1, child2] {
                 if rng.random::<f64>() < cfg.mutation_probability {
                     let g = rng.random_range(0..genes);
                     child[g] = bounds[g].sample(&mut rng);
@@ -227,20 +315,19 @@ where
                     *x = b.clamp(*x);
                 }
             }
-            next.push(child1);
-            if next.len() < cfg.population_size {
-                next.push(child2);
-            }
+            filled += if paired { 2 } else { 1 };
         }
-        population = next;
-        scores = population.iter().map(|c| eval(c)).collect();
+
+        std::mem::swap(&mut pop, &mut next);
+        std::mem::swap(&mut scores, &mut next_scores);
+        evaluator.evaluate(pool, &fitness, &pop, genes, &mut scores, elites);
     }
 
     // Final sweep over the last generation.
-    for (c, &s) in population.iter().zip(&scores) {
+    for (c, &s) in pop.chunks_exact(genes).zip(&scores) {
         if s > best_fitness {
             best_fitness = s;
-            best = c.clone();
+            best.copy_from_slice(c);
         }
     }
 
@@ -249,6 +336,249 @@ where
         best_fitness,
         history,
     })
+}
+
+/// Clamps non-finite fitness to `NEG_INFINITY` (never selected).
+fn sanitize(f: f64) -> f64 {
+    if f.is_finite() {
+        f
+    } else {
+        f64::NEG_INFINITY
+    }
+}
+
+/// Entries past this point evict the whole cache — a backstop for huge
+/// search budgets, far above the paper-scale 64 × 80 runs.
+const MEMO_CAPACITY: usize = 1 << 17;
+
+/// Hashes a chromosome's IEEE-754 bit patterns with a SplitMix-style
+/// multiplicative mix. The WCET objective is only a handful of FMAs per
+/// task, so a memo probe must cost nanoseconds to pay for itself —
+/// SipHash (or hashing the genome more than once per evaluation) would
+/// cost more than the evaluations it saves. Genome bit patterns are not
+/// attacker-controlled, so a fast non-cryptographic mix is safe here.
+fn hash_genome(chromosome: &[f64]) -> u64 {
+    let mut h = 0xA076_1D64_78BD_642Fu64;
+    for x in chromosome {
+        h = (h ^ x.to_bits())
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(26);
+    }
+    // Final avalanche so the table's bucket index (the low bits) depends
+    // on every gene.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^ (h >> 31)
+}
+
+/// Slot sentinel: `offset == usize::MAX` marks an empty slot.
+const EMPTY: usize = usize::MAX;
+
+#[derive(Clone, Copy)]
+struct Slot<V> {
+    hash: u64,
+    /// Start of the key's bit pattern in the arena, or [`EMPTY`].
+    offset: usize,
+    value: V,
+}
+
+/// Open-addressed genome → value table, tuned for the evaluation hot
+/// path: the caller hashes each genome once (via [`hash_genome`]) and
+/// passes the hash to every operation, keys live back-to-back in a
+/// shared arena (no per-entry boxing), and lookups are a masked index
+/// plus a linear probe. Keys are the genes' bit patterns, so a hit is
+/// bit-exact: it returns the identical value a fresh evaluation would
+/// (fitness functions are required to be pure).
+struct GenomeTable<V> {
+    /// Power-of-two slot array; load factor kept below 0.7.
+    slots: Vec<Slot<V>>,
+    /// Key storage: each entry's genes as `f64::to_bits`, contiguous.
+    arena: Vec<u64>,
+    len: usize,
+}
+
+impl<V: Copy + Default> GenomeTable<V> {
+    fn new() -> Self {
+        GenomeTable {
+            slots: Vec::new(),
+            arena: Vec::new(),
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Drops all entries but keeps the allocations.
+    fn clear(&mut self) {
+        self.slots.fill(Slot {
+            hash: 0,
+            offset: EMPTY,
+            value: V::default(),
+        });
+        self.arena.clear();
+        self.len = 0;
+    }
+
+    fn key_eq(&self, offset: usize, key: &[f64]) -> bool {
+        self.arena[offset..offset + key.len()]
+            .iter()
+            .zip(key)
+            .all(|(&stored, x)| stored == x.to_bits())
+    }
+
+    fn get(&self, hash: u64, key: &[f64]) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut idx = hash as usize & mask;
+        loop {
+            let slot = &self.slots[idx];
+            if slot.offset == EMPTY {
+                return None;
+            }
+            if slot.hash == hash && self.key_eq(slot.offset, key) {
+                return Some(slot.value);
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Inserts a key the caller has just verified absent via [`get`].
+    fn insert(&mut self, hash: u64, key: &[f64], value: V) {
+        if (self.len + 1) * 10 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let offset = self.arena.len();
+        self.arena.extend(key.iter().map(|x| x.to_bits()));
+        let mask = self.slots.len() - 1;
+        let mut idx = hash as usize & mask;
+        while self.slots[idx].offset != EMPTY {
+            idx = (idx + 1) & mask;
+        }
+        self.slots[idx] = Slot {
+            hash,
+            offset,
+            value,
+        };
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Slot {
+                    hash: 0,
+                    offset: EMPTY,
+                    value: V::default(),
+                };
+                cap
+            ],
+        );
+        let mask = cap - 1;
+        for slot in old {
+            if slot.offset == EMPTY {
+                continue;
+            }
+            let mut idx = slot.hash as usize & mask;
+            while self.slots[idx].offset != EMPTY {
+                idx = (idx + 1) & mask;
+            }
+            self.slots[idx] = slot;
+        }
+    }
+}
+
+/// Population evaluator: memo cache plus reusable dispatch buffers, so
+/// the per-generation evaluation allocates nothing on the steady path
+/// (table growth amortizes away once the cache warms up).
+struct Evaluator {
+    /// Genome → fitness, persistent across generations.
+    memo: GenomeTable<f64>,
+    /// Genome → pending slot for the current batch only. Converged
+    /// populations breed many identical offspring per generation; each
+    /// unique genome is dispatched exactly once.
+    batch: GenomeTable<usize>,
+    /// Indices whose genome missed the memo cache this round.
+    pending: Vec<usize>,
+    /// Their genome hashes, kept so the post-evaluation memo insert
+    /// does not hash a second time.
+    pending_hashes: Vec<u64>,
+    /// Their freshly computed scores, filled in parallel.
+    pending_scores: Vec<f64>,
+    /// Within-batch duplicates: `(individual, pending slot to copy)`.
+    dups: Vec<(usize, usize)>,
+}
+
+impl Evaluator {
+    fn new() -> Self {
+        Evaluator {
+            memo: GenomeTable::new(),
+            batch: GenomeTable::new(),
+            pending: Vec::new(),
+            pending_hashes: Vec::new(),
+            pending_scores: Vec::new(),
+            dups: Vec::new(),
+        }
+    }
+
+    /// Writes `scores[i] = sanitize(fitness(individual i))` for every
+    /// `i ≥ skip` (slots below `skip` hold carried-over elite scores).
+    /// Memo hits are served serially; unique misses fan out over `pool`.
+    /// Each genome is hashed exactly once per call.
+    fn evaluate<F>(
+        &mut self,
+        pool: &WorkerPool,
+        fitness: &F,
+        flat: &[f64],
+        genes: usize,
+        scores: &mut [f64],
+        skip: usize,
+    ) where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        self.pending.clear();
+        self.pending_hashes.clear();
+        self.dups.clear();
+        self.batch.clear();
+        for i in skip..scores.len() {
+            let key = &flat[i * genes..(i + 1) * genes];
+            let hash = hash_genome(key);
+            if let Some(cached) = self.memo.get(hash, key) {
+                scores[i] = cached;
+            } else if let Some(slot) = self.batch.get(hash, key) {
+                self.dups.push((i, slot));
+            } else {
+                self.batch.insert(hash, key, self.pending.len());
+                self.pending_hashes.push(hash);
+                self.pending.push(i);
+            }
+        }
+        self.pending_scores.resize(self.pending.len(), 0.0);
+        let pending = &self.pending;
+        pool.fill(&mut self.pending_scores, |j| {
+            let i = pending[j];
+            sanitize(fitness(&flat[i * genes..(i + 1) * genes]))
+        });
+        if self.memo.len() + self.pending.len() >= MEMO_CAPACITY {
+            self.memo.clear();
+        }
+        for ((&i, &hash), &s) in self
+            .pending
+            .iter()
+            .zip(&self.pending_hashes)
+            .zip(&self.pending_scores)
+        {
+            scores[i] = s;
+            self.memo.insert(hash, &flat[i * genes..(i + 1) * genes], s);
+        }
+        for &(i, slot) in &self.dups {
+            scores[i] = self.pending_scores[slot];
+        }
+    }
 }
 
 /// Tournament selection: the fittest of `k` uniformly drawn individuals.

@@ -8,7 +8,7 @@
 //! Eqs. 11–12. Infeasible HC demand receives zero fitness (death penalty);
 //! Eq. 9 is enforced structurally through the gene bounds (clamp repair).
 
-use crate::ga::{optimize, GaConfig, GaResult, GeneBounds};
+use crate::ga::{optimize, optimize_with_pool, GaConfig, GaResult, GeneBounds};
 use crate::OptError;
 use mc_sched::analysis::edf_vd;
 use mc_stats::chebyshev;
@@ -94,15 +94,96 @@ impl Default for ProblemConfig {
     }
 }
 
+/// Per-task coefficients hoisted out of the objective's hot loop. The GA
+/// evaluates `objective` millions of times per figure, so the loop body
+/// must be multiply-add only: utilisation contributions are stored as
+/// `ACET/T` and `σ/T` (one FMA per task instead of two divisions), and
+/// the Eq. 9 feasibility test is pre-solved for `n` so the loop compares
+/// against a constant instead of recomputing `C_LO`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ObjectiveCoef {
+    /// `ACET / T`: constant term of the task's LO utilisation.
+    u_acet: f64,
+    /// `σ / T`: per-factor slope of the LO utilisation.
+    u_sigma: f64,
+    /// Largest factor passing Eq. 9's tolerance band
+    /// (`ACET + n·σ ≤ WCET_pes + 1e-6`). `INFINITY` when σ = 0 and the
+    /// ACET already fits; `NEG_INFINITY` when no factor can be feasible.
+    n_max: f64,
+}
+
+impl ObjectiveCoef {
+    fn from_task(t: &HcTaskParams) -> Self {
+        let slack = t.wcet_pes + 1e-6 - t.acet;
+        let n_max = if t.sigma > 0.0 {
+            slack / t.sigma
+        } else if slack >= 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+        ObjectiveCoef {
+            u_acet: t.acet / t.period,
+            u_sigma: t.sigma / t.period,
+            n_max,
+        }
+    }
+}
+
 /// The WCET-assignment optimisation problem for one task set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WcetProblem {
+    tasks: Vec<HcTaskParams>,
+    u_hc_hi: f64,
+    config: ProblemConfig,
+    /// Derived hot-loop coefficients — never serialized; rebuilt from
+    /// `tasks` whenever a problem is constructed or deserialized.
+    coefs: Vec<ObjectiveCoef>,
+}
+
+/// Wire-format shadow of [`WcetProblem`]: exactly the serialized fields,
+/// so the derived `coefs` never leak into (or get read from) JSON and
+/// the format stays identical to earlier releases.
+#[derive(Serialize, Deserialize)]
+struct WcetProblemWire {
     tasks: Vec<HcTaskParams>,
     u_hc_hi: f64,
     config: ProblemConfig,
 }
 
+impl Serialize for WcetProblem {
+    fn to_value(&self) -> serde::Value {
+        WcetProblemWire {
+            tasks: self.tasks.clone(),
+            u_hc_hi: self.u_hc_hi,
+            config: self.config,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for WcetProblem {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let wire = WcetProblemWire::from_value(v)?;
+        Ok(WcetProblem::from_parts(
+            wire.tasks,
+            wire.u_hc_hi,
+            wire.config,
+        ))
+    }
+}
+
 impl WcetProblem {
+    fn from_parts(tasks: Vec<HcTaskParams>, u_hc_hi: f64, config: ProblemConfig) -> Self {
+        let coefs = tasks.iter().map(ObjectiveCoef::from_task).collect();
+        WcetProblem {
+            tasks,
+            u_hc_hi,
+            config,
+            coefs,
+        }
+    }
+
     /// Extracts the problem from a task set. Every HC task must carry an
     /// execution profile.
     ///
@@ -122,11 +203,7 @@ impl WcetProblem {
             });
         }
         let u_hc_hi = tasks.iter().map(HcTaskParams::u_hi).sum();
-        Ok(WcetProblem {
-            tasks,
-            u_hc_hi,
-            config,
-        })
+        Ok(WcetProblem::from_parts(tasks, u_hc_hi, config))
     }
 
     /// The per-task parameters, in chromosome order.
@@ -192,20 +269,26 @@ impl WcetProblem {
             self.tasks.len(),
             "factor vector must have one entry per HC task"
         );
+        self.eval(factors.iter().copied())
+    }
+
+    /// The shared evaluation loop behind [`WcetProblem::objective`] and
+    /// [`WcetProblem::objective_uniform`]: multiply-add per task against
+    /// the precomputed [`ObjectiveCoef`]s, no allocation, no division.
+    fn eval(&self, factors: impl Iterator<Item = f64>) -> ObjectiveValue {
         let mut u_hc_lo = 0.0;
         let mut no_switch = 1.0;
         let mut feasible = true;
-        for (t, &n) in self.tasks.iter().zip(factors) {
-            if !n.is_finite() || n < 0.0 {
+        for (coef, n) in self.coefs.iter().zip(factors) {
+            // Eq. 9 as a precomputed threshold on `n` (death penalty —
+            // bounds normally repair this already). The finiteness check
+            // also guards the σ = 0 case, where `n_max` is infinite and
+            // an infinite factor would otherwise slip through.
+            if !n.is_finite() || n < 0.0 || n > coef.n_max {
                 feasible = false;
                 break;
             }
-            // Eq. 9 (death penalty — bounds normally repair this already).
-            if t.c_lo(n) > t.wcet_pes + 1e-6 {
-                feasible = false;
-                break;
-            }
-            u_hc_lo += t.u_lo(n);
+            u_hc_lo += coef.u_acet + n * coef.u_sigma;
             no_switch *= 1.0 - chebyshev::one_sided_bound(n);
         }
         if !feasible {
@@ -227,13 +310,11 @@ impl WcetProblem {
     }
 
     /// Evaluates the objective at a single uniform factor (Fig. 2/3 mode).
+    /// Clamps per task to Eq. 9 and the cap, without materialising a
+    /// factor vector — the sweep binaries call this in a tight loop.
     pub fn objective_uniform(&self, n: f64) -> ObjectiveValue {
-        let factors: Vec<f64> = self
-            .tasks
-            .iter()
-            .map(|t| n.min(t.max_factor()).min(self.config.factor_cap))
-            .collect();
-        self.objective(&factors)
+        let cap = self.config.factor_cap;
+        self.eval(self.tasks.iter().map(|t| n.min(t.max_factor()).min(cap)))
     }
 
     /// Solves for per-task factors with the genetic algorithm.
@@ -246,15 +327,7 @@ impl WcetProblem {
     /// Propagates GA configuration errors.
     pub fn solve_ga(&self, cfg: &GaConfig) -> Result<Solution, OptError> {
         if self.tasks.is_empty() {
-            return Ok(Solution {
-                factors: Vec::new(),
-                objective: ObjectiveValue {
-                    p_ms: 0.0,
-                    max_u_lc_lo: 1.0,
-                    u_hc_lo: 0.0,
-                    fitness: 1.0,
-                },
-            });
+            return Ok(Self::trivial_solution());
         }
         let bounds = self.bounds()?;
         let result: GaResult = optimize(&bounds, |c| self.objective(c).fitness, cfg)?;
@@ -263,6 +336,44 @@ impl WcetProblem {
             factors: result.best,
             objective,
         })
+    }
+
+    /// [`WcetProblem::solve_ga`] on a caller-supplied worker pool, for
+    /// batch layers that solve many problems and share one pool (and one
+    /// thread budget) across all of them. `cfg.threads` is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GA configuration errors.
+    pub fn solve_ga_with_pool(
+        &self,
+        cfg: &GaConfig,
+        pool: &mc_par::WorkerPool,
+    ) -> Result<Solution, OptError> {
+        if self.tasks.is_empty() {
+            return Ok(Self::trivial_solution());
+        }
+        let bounds = self.bounds()?;
+        let result: GaResult =
+            optimize_with_pool(&bounds, |c| self.objective(c).fitness, cfg, pool)?;
+        let objective = self.objective(&result.best);
+        Ok(Solution {
+            factors: result.best,
+            objective,
+        })
+    }
+
+    /// The no-HC-task solution: empty factors, `P_MS = 0`, full LC budget.
+    fn trivial_solution() -> Solution {
+        Solution {
+            factors: Vec::new(),
+            objective: ObjectiveValue {
+                p_ms: 0.0,
+                max_u_lc_lo: 1.0,
+                u_hc_lo: 0.0,
+                fitness: 1.0,
+            },
+        }
     }
 
     /// Applies a solved factor vector back onto the task set, setting each
