@@ -2,17 +2,30 @@
 //! Bessel-corrected sample σ (divide by m−1), and sensitivity of the
 //! designed budgets to the trace length m (DESIGN.md §5).
 //!
+//! A thin wrapper over the `ablation_sigma` campaign in `mc_exp::catalog`
+//! (the definition `chebymc exp run ablation_sigma` executes), run against
+//! an in-memory store with the legacy trace seeds, so the rows match the
+//! pre-campaign binary exactly.
+//!
 //! Run: `cargo run -p chebymc-bench --release --bin ablation_sigma`
 
 use chebymc_bench::{pct, Table};
-use mc_exec::benchmarks;
+use mc_exp::catalog::{self, CatalogOptions};
+use mc_exp::{aggregate, run_campaign, RunConfig, Store};
 use mc_stats::chebyshev::one_sided_bound;
-use mc_stats::summary::Summary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ablation — σ estimator and trace length (benchmark: corner; n = 3)\n");
-    let bench = benchmarks::corner()?;
-    let n = 3.0;
+    let campaign = catalog::build("ablation_sigma", &CatalogOptions::default())?;
+    let mut store = Store::in_memory(&campaign.spec);
+    run_campaign(
+        &campaign.spec,
+        campaign.runner.as_ref(),
+        &mut store,
+        &RunConfig::default(),
+    )?;
+    let aggs = aggregate(&campaign.spec, store.records())?;
+
     let mut table = Table::new([
         "m (samples)",
         "ACET",
@@ -23,23 +36,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Δ C_LO %",
         "meas overrun % @C_LO(pop)",
     ]);
-    // The reference trace measures the "true" overrun rate of any level.
-    let reference = bench.sample_trace(200_000, 999)?;
-    for m in [10usize, 30, 100, 1_000, 20_000] {
-        let trace = bench.sample_trace(m, 4)?;
-        let s = Summary::from_samples(trace.samples())?;
-        let c_pop = s.mean() + n * s.std_dev();
-        let c_sample = s.mean() + n * s.sample_std_dev();
-        let measured = reference.overrun_rate(c_pop)?.rate();
+    for a in &aggs {
+        let get = |name: &str| a.mean(name).expect("ablation records carry every column");
+        let m = a
+            .params
+            .iter()
+            .find(|p| p.name == "m")
+            .expect("ablation points carry m")
+            .value;
         table.row([
-            format!("{m}"),
-            format!("{:.0}", s.mean()),
-            format!("{:.0}", s.std_dev()),
-            format!("{:.0}", s.sample_std_dev()),
-            format!("{c_pop:.0}"),
-            format!("{c_sample:.0}"),
-            format!("{:.2}", (c_sample / c_pop - 1.0) * 100.0),
-            pct(measured),
+            format!("{}", m as usize),
+            format!("{:.0}", get("acet")),
+            format!("{:.0}", get("pop_sigma")),
+            format!("{:.0}", get("sample_sigma")),
+            format!("{:.0}", get("c_lo_pop")),
+            format!("{:.0}", get("c_lo_sample")),
+            format!("{:.2}", get("delta_pct")),
+            pct(get("measured_overrun")),
         ]);
     }
     table.emit("ablation_sigma");
@@ -50,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          m = 30; short traces are risky through estimation noise in ACET/σ\n\
          themselves (watch the measured-overrun column wobble), not through\n\
          the m vs m−1 convention.",
-        pct(one_sided_bound(n))
+        pct(one_sided_bound(3.0))
     );
     Ok(())
 }

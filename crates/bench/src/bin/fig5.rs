@@ -2,59 +2,68 @@
 //! every policy as `U_HC^HI` varies: the single-number comparison in which
 //! the proposed scheme dominates.
 //!
+//! A thin wrapper over the `fig5` campaign in `mc_exp::catalog` — the
+//! same definition `chebymc exp run fig5` executes, run here against an
+//! in-memory store. The campaign reproduces the pre-campaign binary's
+//! numbers bit-for-bit (it derives the identical per-set seed stream), so
+//! old and new output can be diffed directly.
+//!
 //! Run: `cargo run -p chebymc-bench --release --bin fig5`
 
 use chebymc_bench::{task_sets_per_point, Table};
-use chebymc_core::pipeline::{evaluate_policy_over_utilization, BatchConfig};
-use chebymc_core::policy::{paper_lambda_baselines, WcetPolicy};
-use mc_opt::{GaConfig, ProblemConfig};
-use mc_task::generate::GeneratorConfig;
+use mc_exp::catalog::{self, CatalogOptions};
+use mc_exp::{aggregate, run_campaign, RunConfig, Store};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch = BatchConfig {
-        task_sets: task_sets_per_point(),
-        seed: 5,
-        generator: GeneratorConfig::default(),
-        threads: 0,
-    };
-    let u_values: Vec<f64> = (4..=9).map(|i| i as f64 / 10.0).collect();
-    println!(
-        "Fig. 5 — Eq. 13 objective by varying U_HC^HI ({} task sets per point)\n",
-        batch.task_sets
-    );
-
-    let mut policies: Vec<WcetPolicy> = vec![WcetPolicy::ChebyshevGa {
-        ga: GaConfig {
-            population_size: 48,
-            generations: 40,
-            ..GaConfig::default()
+    let sets = task_sets_per_point();
+    let campaign = catalog::build(
+        "fig5",
+        &CatalogOptions {
+            sets: Some(sets),
+            ..CatalogOptions::default()
         },
-        problem: ProblemConfig::default(),
-    }];
-    policies.extend(paper_lambda_baselines());
-    policies.push(WcetPolicy::Acet);
+    )?;
+    println!("Fig. 5 — Eq. 13 objective by varying U_HC^HI ({sets} task sets per point)\n");
+
+    let mut store = Store::in_memory(&campaign.spec);
+    run_campaign(
+        &campaign.spec,
+        campaign.runner.as_ref(),
+        &mut store,
+        &RunConfig::default(),
+    )?;
+    let aggs = aggregate(&campaign.spec, store.records())?;
+
+    // The axis is policy-major: the first |u| points belong to the first
+    // policy, and every point exposes its utilisation as a parameter.
+    let policies = catalog::fig5_policies();
+    let u_count = campaign.spec.points.len() / policies.len();
+    let u_values: Vec<f64> = campaign.spec.points[..u_count]
+        .iter()
+        .map(|p| p.param("u").expect("fig5 points carry u"))
+        .collect();
+    let objective = |pi: usize, ui: usize| {
+        aggs[pi * u_count + ui]
+            .mean("objective")
+            .expect("fig5 records carry objective")
+    };
 
     let mut table = Table::new({
         let mut h = vec!["U_HC^HI".to_string()];
         h.extend(policies.iter().map(|p| p.name()));
         h
     });
-    let mut per_policy = Vec::new();
-    for policy in &policies {
-        per_policy.push(evaluate_policy_over_utilization(&u_values, policy, &batch)?);
-    }
     let mut improvements = Vec::new();
     for (ui, &u) in u_values.iter().enumerate() {
         let mut row = vec![format!("{u:.1}")];
-        for points in &per_policy {
-            row.push(format!("{:.4}", points[ui].mean_objective));
+        for pi in 0..policies.len() {
+            row.push(format!("{:.4}", objective(pi, ui)));
         }
         table.row(row);
         // Improvement of the scheme over the best lambda baseline.
-        let ours = per_policy[0][ui].mean_objective;
-        let best_baseline = per_policy[1..]
-            .iter()
-            .map(|p| p[ui].mean_objective)
+        let ours = objective(0, ui);
+        let best_baseline = (1..policies.len())
+            .map(|pi| objective(pi, ui))
             .fold(f64::NEG_INFINITY, f64::max);
         if best_baseline > 0.0 {
             improvements.push((u, (ours / best_baseline - 1.0) * 100.0));

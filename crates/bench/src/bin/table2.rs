@@ -2,11 +2,16 @@
 //! the distribution-free analysis bound `1/(1+n²)` against the measured
 //! overrun percentage of each benchmark at `ACET + n·σ`.
 //!
+//! A thin wrapper over the `table2` campaign in `mc_exp::catalog` (the
+//! definition `chebymc exp run table2` executes), run against an
+//! in-memory store; the campaign reuses the legacy per-benchmark trace
+//! seeds, so the cells match the pre-campaign binary exactly.
+//!
 //! Run: `cargo run -p chebymc-bench --release --bin table2`
 
 use chebymc_bench::{pct, samples_per_benchmark, Table};
-use mc_exec::benchmarks;
-use mc_stats::chebyshev::one_sided_bound;
+use mc_exp::catalog::{self, CatalogOptions};
+use mc_exp::{aggregate, run_campaign, RunConfig, Store};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = samples_per_benchmark();
@@ -14,25 +19,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "TABLE II — The effect of n on task overrunning\n\
          (measured on {samples} sampled instances per application)\n"
     );
-    let suite = benchmarks::table2_suite()?;
+    let campaign = catalog::build(
+        "table2",
+        &CatalogOptions {
+            samples: Some(samples),
+            ..CatalogOptions::default()
+        },
+    )?;
+    let mut store = Store::in_memory(&campaign.spec);
+    run_campaign(
+        &campaign.spec,
+        campaign.runner.as_ref(),
+        &mut store,
+        &RunConfig::default(),
+    )?;
+    let aggs = aggregate(&campaign.spec, store.records())?;
+
+    // Points are benchmark-major with 5 factors each; the label's prefix
+    // (before `/n…`) is the benchmark name.
+    let n_count = 5;
+    let bench_count = campaign.spec.points.len() / n_count;
+    let bench_name = |bi: usize| {
+        let label = &campaign.spec.points[bi * n_count].label;
+        label.split('/').next().unwrap_or(label).to_string()
+    };
     let mut header = vec!["".to_string(), "Analysis".to_string()];
-    header.extend(suite.iter().map(|b| b.name().to_string()));
+    header.extend((0..bench_count).map(bench_name));
     let mut table = Table::new(header);
 
-    // Pre-sample each benchmark once.
-    let mut traces = Vec::new();
-    for (i, bench) in suite.iter().enumerate() {
-        traces.push(bench.sample_trace(samples, 200 + i as u64)?);
-    }
-    for n in 0..=4u32 {
-        let mut cells = vec![
-            format!("n={n}"),
-            format!("{}%", pct(one_sided_bound(n as f64))),
-        ];
-        for trace in &traces {
-            let s = trace.summary()?;
-            let level = s.mean() + n as f64 * s.std_dev();
-            cells.push(format!("{}%", pct(trace.overrun_rate(level)?.rate())));
+    for n in 0..n_count {
+        let analysis = aggs[n]
+            .mean("analysis_bound")
+            .expect("table2 records carry analysis_bound");
+        let mut cells = vec![format!("n={n}"), format!("{}%", pct(analysis))];
+        for bi in 0..bench_count {
+            let measured = aggs[bi * n_count + n]
+                .mean("overrun_rate")
+                .expect("table2 records carry overrun_rate");
+            cells.push(format!("{}%", pct(measured)));
         }
         table.row(cells);
     }

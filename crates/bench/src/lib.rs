@@ -9,24 +9,53 @@
 
 use std::fmt::Write as _;
 
+/// Parses one scale variable's value: absent → `default`; present but not
+/// a positive integer → a named error. A set-but-garbled variable must
+/// fail loudly — silently falling back to the default would run the whole
+/// experiment at the wrong scale.
+pub fn parse_scale(name: &str, value: Option<&str>, default: usize) -> Result<usize, String> {
+    match value {
+        None => Ok(default),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!(
+                "{name}={v:?} is not a positive integer (unset it to use the default {default})"
+            )),
+        },
+    }
+}
+
+/// Reads a scale variable, exiting with status 2 on an unparseable value.
+fn scale_env(name: &str, default: usize) -> usize {
+    let value = match std::env::var(name) {
+        Ok(v) => Some(v),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            eprintln!("error: {name} is set but is not valid unicode");
+            std::process::exit(2);
+        }
+    };
+    match parse_scale(name, value.as_deref(), default) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Number of task sets per data point: `CHEBYMC_SETS` env var, default 200
-/// (the paper uses 1000).
+/// (the paper uses 1000). Exits with status 2 when the variable is set to
+/// something that is not a positive integer.
 pub fn task_sets_per_point() -> usize {
-    std::env::var("CHEBYMC_SETS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(200)
+    scale_env("CHEBYMC_SETS", 200)
 }
 
 /// Number of execution-time samples per benchmark: `CHEBYMC_SAMPLES`,
-/// default 20 000 (the paper's value).
+/// default 20 000 (the paper's value). Exits with status 2 when the
+/// variable is set to something that is not a positive integer.
 pub fn samples_per_benchmark() -> usize {
-    std::env::var("CHEBYMC_SAMPLES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(20_000)
+    scale_env("CHEBYMC_SAMPLES", 20_000)
 }
 
 /// A simple aligned text table with an optional CSV mirror.
@@ -121,16 +150,23 @@ impl Table {
     }
 
     /// Prints the text table to stdout and, when `CHEBYMC_CSV_DIR` is set,
-    /// writes `<dir>/<name>.csv` as well.
+    /// writes `<dir>/<name>.csv` as well — creating the directory if
+    /// needed, and exiting with status 2 when the CSV cannot be written.
+    /// An explicitly requested export that silently fails would leave a
+    /// long experiment with no artefact.
     pub fn emit(&self, name: &str) {
         println!("{}", self.to_text());
         if let Ok(dir) = std::env::var("CHEBYMC_CSV_DIR") {
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("error: could not create CHEBYMC_CSV_DIR {dir:?}: {e}");
+                std::process::exit(2);
+            }
             let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
             if let Err(e) = std::fs::write(&path, self.to_csv()) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                eprintln!("(csv written to {})", path.display());
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(2);
             }
+            eprintln!("(csv written to {})", path.display());
         }
     }
 }
@@ -196,6 +232,18 @@ mod tests {
         }
         if std::env::var("CHEBYMC_SAMPLES").is_err() {
             assert_eq!(samples_per_benchmark(), 20_000);
+        }
+    }
+
+    #[test]
+    fn scale_parsing_rejects_garbage_instead_of_defaulting() {
+        assert_eq!(parse_scale("CHEBYMC_SETS", None, 200), Ok(200));
+        assert_eq!(parse_scale("CHEBYMC_SETS", Some("1000"), 200), Ok(1000));
+        assert_eq!(parse_scale("CHEBYMC_SETS", Some(" 50 "), 200), Ok(50));
+        for bad in ["", "0", "-3", "many", "1e3", "200.0"] {
+            let err = parse_scale("CHEBYMC_SETS", Some(bad), 200).unwrap_err();
+            assert!(err.contains("CHEBYMC_SETS"), "{err}");
+            assert!(err.contains("positive integer"), "{err}");
         }
     }
 }

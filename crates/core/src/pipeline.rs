@@ -59,13 +59,7 @@ impl BatchConfig {
     }
 
     fn set_seed(&self, point: usize, set: usize) -> u64 {
-        // SplitMix-style mixing keeps streams independent across points.
-        let mut z = self.seed.wrapping_add(
-            0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + point as u64 * 65_537 + set as u64),
-        );
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        derive_set_seed(self.seed, point, set)
     }
 
     /// Builds the batch layer's worker pool and the per-set inner thread
@@ -79,6 +73,66 @@ impl BatchConfig {
         let (outer, inner) = mc_par::ThreadBudget::explicit(self.threads).split(self.task_sets);
         (mc_par::WorkerPool::new(outer), inner.get())
     }
+}
+
+/// Derives the seed of the `set`-th task set at the `point`-th axis point
+/// from a batch/campaign base seed. SplitMix-style mixing keeps the
+/// streams independent across points and sets. This is the seed contract
+/// shared by the batch pipelines here and by `mc-exp` campaign runners:
+/// any process that re-derives `(point, set)` gets bit-identical task
+/// sets, which is what makes sharded and resumed runs reproducible.
+#[must_use]
+pub fn derive_set_seed(base_seed: u64, point: usize, set: usize) -> u64 {
+    let mut z = base_seed.wrapping_add(
+        0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + point as u64 * 65_537 + set as u64),
+    );
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Design metrics of one generated-and-designed task set — the per-unit
+/// quantity the Figs. 3–5 pipelines average, exposed so external drivers
+/// (the `mc-exp` campaign runner) can evaluate single sets and aggregate
+/// on their own without diverging from the in-process batch path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetEvaluation {
+    /// Mode-switch probability bound (Eq. 10).
+    pub p_ms: f64,
+    /// `max(U_LC^LO)` (Eqs. 11–12).
+    pub max_u_lc_lo: f64,
+    /// Eq. 13 objective.
+    pub objective: f64,
+}
+
+/// Generates one HC-only task set at utilisation `u` from `seed`, applies
+/// `policy` (re-seeded to the same `seed`, inner parallelism pinned to
+/// `inner_threads`), and returns its design metrics.
+///
+/// [`evaluate_policy_over_utilization`] is exactly a mean over calls of
+/// this function with `seed = derive_set_seed(batch.seed, point, set)`,
+/// so external drivers that follow the same seed contract reproduce the
+/// batch numbers bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates generation, assignment, and metric errors.
+pub fn evaluate_policy_one_set(
+    u: f64,
+    policy: &WcetPolicy,
+    generator: &GeneratorConfig,
+    seed: u64,
+    inner_threads: usize,
+) -> Result<SetEvaluation, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ts = generate_hc_taskset(u, generator, &mut rng).map_err(CoreError::Task)?;
+    reseed(policy, seed, inner_threads).assign(&mut ts)?;
+    let m = design_metrics(&ts)?;
+    Ok(SetEvaluation {
+        p_ms: m.p_ms,
+        max_u_lc_lo: m.max_u_lc_lo,
+        objective: m.objective,
+    })
 }
 
 /// Evaluates `f(set_index)` for every set in the batch on `pool`. Order
@@ -168,20 +222,20 @@ pub fn evaluate_policy_over_utilization(
     let mut out = Vec::with_capacity(u_values.len());
     for (pi, &u) in u_values.iter().enumerate() {
         let per_set = map_sets(&pool, batch.task_sets, |si| {
-            let seed = batch.set_seed(pi, si);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut ts =
-                generate_hc_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?;
-            reseed(policy, seed, inner_threads).assign(&mut ts)?;
-            let m = design_metrics(&ts)?;
-            Ok((m.p_ms, m.max_u_lc_lo, m.objective))
+            evaluate_policy_one_set(
+                u,
+                policy,
+                &batch.generator,
+                batch.set_seed(pi, si),
+                inner_threads,
+            )
         })?;
         let n = batch.task_sets as f64;
         out.push(PolicyPoint {
             u_hc_hi: u,
-            mean_p_ms: per_set.iter().map(|r| r.0).sum::<f64>() / n,
-            mean_max_u_lc_lo: per_set.iter().map(|r| r.1).sum::<f64>() / n,
-            mean_objective: per_set.iter().map(|r| r.2).sum::<f64>() / n,
+            mean_p_ms: per_set.iter().map(|r| r.p_ms).sum::<f64>() / n,
+            mean_max_u_lc_lo: per_set.iter().map(|r| r.max_u_lc_lo).sum::<f64>() / n,
+            mean_objective: per_set.iter().map(|r| r.objective).sum::<f64>() / n,
         });
     }
     Ok(out)
@@ -376,6 +430,46 @@ mod tests {
                 ..GaConfig::default()
             },
             problem: ProblemConfig::default(),
+        }
+    }
+
+    #[test]
+    fn one_set_evaluation_reconstructs_the_batch_mean() {
+        // The seed contract external drivers (mc-exp) rely on: averaging
+        // `evaluate_policy_one_set` over `derive_set_seed(seed, pi, si)`
+        // reproduces `evaluate_policy_over_utilization` bit-for-bit.
+        let batch = small_batch();
+        let policy = WcetPolicy::ChebyshevUniform { n: 4.0 };
+        let us = [0.5, 0.8];
+        let expected = evaluate_policy_over_utilization(&us, &policy, &batch).unwrap();
+        for (pi, &u) in us.iter().enumerate() {
+            let per_set: Vec<SetEvaluation> = (0..batch.task_sets)
+                .map(|si| {
+                    evaluate_policy_one_set(
+                        u,
+                        &policy,
+                        &batch.generator,
+                        derive_set_seed(batch.seed, pi, si),
+                        1,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let n = batch.task_sets as f64;
+            let mean = per_set.iter().map(|r| r.objective).sum::<f64>() / n;
+            assert_eq!(mean.to_bits(), expected[pi].mean_objective.to_bits());
+            let mean_p = per_set.iter().map(|r| r.p_ms).sum::<f64>() / n;
+            assert_eq!(mean_p.to_bits(), expected[pi].mean_p_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_spread_out() {
+        let mut seen = std::collections::HashSet::new();
+        for point in 0..8 {
+            for set in 0..64 {
+                assert!(seen.insert(derive_set_seed(7, point, set)));
+            }
         }
     }
 

@@ -1,0 +1,409 @@
+//! The built-in campaign catalog: the paper's experiments as declarative
+//! campaign definitions, shared by the migrated bench binaries and
+//! `chebymc exp`.
+//!
+//! Each entry pairs a [`CampaignSpec`] (the axis and replication) with a
+//! [`UnitRunner`] (how one unit is computed). Numeric parity with the
+//! legacy binaries is part of the contract:
+//!
+//! * `fig5` derives its *evaluation* seeds as
+//!   `derive_set_seed(campaign_seed, u_index, replica)` — the seeds the
+//!   in-process [`evaluate_policy_over_utilization`] batch would use —
+//!   so per-point means reproduce the legacy Fig. 5 numbers bit-for-bit.
+//!   (The framework's per-unit identity seed still follows the
+//!   `hash(seed, point, replica)` contract; the runner just re-derives
+//!   the legacy stream internally, because a campaign point is
+//!   *policy × utilisation* while the batch pipeline's point is
+//!   utilisation alone.)
+//! * `table2` and `ablation_sigma` reuse the exact trace seeds of their
+//!   binaries (`200 + benchmark_index`, reference seed 999, probe seed 4).
+//!
+//! [`evaluate_policy_over_utilization`]: chebymc_core::pipeline::evaluate_policy_over_utilization
+
+use crate::run::UnitRunner;
+use crate::spec::{CampaignSpec, Param, PointSpec, WorkUnit};
+use crate::store::Metric;
+use crate::ExpError;
+use chebymc_core::pipeline::{derive_set_seed, evaluate_policy_one_set};
+use chebymc_core::policy::{paper_lambda_baselines, WcetPolicy};
+use mc_exec::benchmarks;
+use mc_exec::trace::ExecutionTrace;
+use mc_opt::{GaConfig, ProblemConfig};
+use mc_stats::chebyshev::one_sided_bound;
+use mc_stats::summary::Summary;
+use mc_task::generate::GeneratorConfig;
+use std::sync::OnceLock;
+
+/// A built campaign: its spec plus the runner that computes one unit.
+pub struct Campaign {
+    /// The campaign's declarative spec.
+    pub spec: CampaignSpec,
+    /// The unit runner.
+    pub runner: Box<dyn UnitRunner + Send + Sync>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("spec", &self.spec)
+            .finish()
+    }
+}
+
+/// Knobs the CLI and the bench binaries thread into the catalog. `None`
+/// keeps each campaign's paper-scale default.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CatalogOptions {
+    /// Task-set replicas per point (`fig5`).
+    pub sets: Option<usize>,
+    /// Sampled instances per benchmark (`table2`).
+    pub samples: Option<usize>,
+    /// Utilisation axis override (`fig5`).
+    pub points: Option<Vec<f64>>,
+    /// Campaign base seed.
+    pub seed: Option<u64>,
+}
+
+/// The catalog's campaign names.
+#[must_use]
+pub fn names() -> &'static [&'static str] {
+    &["fig5", "table2", "ablation_sigma"]
+}
+
+/// Builds a named campaign.
+///
+/// # Errors
+///
+/// [`ExpError::Config`] for unknown names or benchmark-construction
+/// failures.
+pub fn build(name: &str, opts: &CatalogOptions) -> Result<Campaign, ExpError> {
+    match name {
+        "fig5" => Ok(fig5(opts)),
+        "table2" => table2(opts),
+        "ablation_sigma" => Ok(ablation_sigma(opts)),
+        other => Err(ExpError::Config(format!(
+            "unknown campaign `{other}` (known: {})",
+            names().join(", ")
+        ))),
+    }
+}
+
+/// The Fig. 5 policy roster: the GA scheme, the paper's λ baselines, ACET.
+#[must_use]
+pub fn fig5_policies() -> Vec<WcetPolicy> {
+    let mut policies = vec![WcetPolicy::ChebyshevGa {
+        ga: GaConfig {
+            population_size: 48,
+            generations: 40,
+            ..GaConfig::default()
+        },
+        problem: ProblemConfig::default(),
+    }];
+    policies.extend(paper_lambda_baselines());
+    policies.push(WcetPolicy::Acet);
+    policies
+}
+
+/// Fig. 5: the Eq. 13 objective of every policy as `U_HC^HI` varies.
+/// Points are policy-major (`point = policy_index * |u| + u_index`).
+fn fig5(opts: &CatalogOptions) -> Campaign {
+    let seed = opts.seed.unwrap_or(5);
+    let replicas = opts.sets.unwrap_or(200);
+    let u_values: Vec<f64> = opts
+        .points
+        .clone()
+        .unwrap_or_else(|| (4..=9).map(|i| f64::from(i) / 10.0).collect());
+    let policies = fig5_policies();
+    let mut points = Vec::new();
+    for (pi, policy) in policies.iter().enumerate() {
+        for (ui, &u) in u_values.iter().enumerate() {
+            points.push(PointSpec::new(
+                format!("{}/u{u:.2}", policy.name()),
+                vec![
+                    Param::new("policy", pi as f64),
+                    Param::new("u", u),
+                    Param::new("u_index", ui as f64),
+                ],
+            ));
+        }
+    }
+    let spec = CampaignSpec {
+        name: "fig5".into(),
+        seed,
+        params: vec![],
+        points,
+        replicas,
+    };
+    let runner = Fig5Runner {
+        policies,
+        u_values,
+        seed,
+    };
+    Campaign {
+        spec,
+        runner: Box::new(runner),
+    }
+}
+
+struct Fig5Runner {
+    policies: Vec<WcetPolicy>,
+    u_values: Vec<f64>,
+    seed: u64,
+}
+
+impl UnitRunner for Fig5Runner {
+    fn run_unit(&self, unit: &WorkUnit, inner_threads: usize) -> Result<Vec<Metric>, ExpError> {
+        let u_count = self.u_values.len();
+        let policy = &self.policies[unit.point / u_count];
+        let u_index = unit.point % u_count;
+        let u = self.u_values[u_index];
+        // The legacy batch stream: one seed per (utilisation, set), shared
+        // across policies so every policy designs the same task sets.
+        let eval_seed = derive_set_seed(self.seed, u_index, unit.replica);
+        let e = evaluate_policy_one_set(
+            u,
+            policy,
+            &GeneratorConfig::default(),
+            eval_seed,
+            inner_threads,
+        )?;
+        Ok(vec![
+            Metric::new("p_ms", e.p_ms),
+            Metric::new("max_u_lc_lo", e.max_u_lc_lo),
+            Metric::new("objective", e.objective),
+        ])
+    }
+}
+
+/// Table II: the `1/(1+n²)` analysis bound vs the measured overrun rate
+/// of each benchmark at `ACET + n·σ`. Points are benchmark-major
+/// (`point = benchmark_index * 5 + n`), one replica each.
+fn table2(opts: &CatalogOptions) -> Result<Campaign, ExpError> {
+    let samples = opts.samples.unwrap_or(20_000);
+    let suite = benchmarks::table2_suite().map_err(exec_err)?;
+    let mut points = Vec::new();
+    for (bi, bench) in suite.iter().enumerate() {
+        for n in 0..=4u32 {
+            points.push(PointSpec::new(
+                format!("{}/n{n}", bench.name()),
+                vec![
+                    Param::new("benchmark", bi as f64),
+                    Param::new("n", f64::from(n)),
+                ],
+            ));
+        }
+    }
+    let spec = CampaignSpec {
+        name: "table2".into(),
+        seed: opts.seed.unwrap_or(0),
+        // The sample count changes every measured cell, so it must enter
+        // the fingerprint: a store sampled at one scale refuses to resume
+        // at another.
+        params: vec![Param::new("samples", samples as f64)],
+        points,
+        replicas: 1,
+    };
+    Ok(Campaign {
+        spec,
+        runner: Box::new(Table2Runner { samples }),
+    })
+}
+
+struct Table2Runner {
+    samples: usize,
+}
+
+impl UnitRunner for Table2Runner {
+    fn run_unit(&self, unit: &WorkUnit, _inner_threads: usize) -> Result<Vec<Metric>, ExpError> {
+        let suite = benchmarks::table2_suite().map_err(exec_err)?;
+        let bi = unit.point / 5;
+        let n = (unit.point % 5) as f64;
+        let bench = suite.get(bi).ok_or_else(|| {
+            ExpError::Config(format!("table2 point {} has no benchmark", unit.point))
+        })?;
+        // The legacy binary's trace seed: 200 + suite index.
+        let trace = bench
+            .sample_trace(self.samples, 200 + bi as u64)
+            .map_err(exec_err)?;
+        let s = trace.summary().map_err(exec_err)?;
+        let level = s.mean() + n * s.std_dev();
+        let measured = trace.overrun_rate(level).map_err(exec_err)?.rate();
+        Ok(vec![
+            Metric::new("analysis_bound", one_sided_bound(n)),
+            Metric::new("overrun_rate", measured),
+        ])
+    }
+}
+
+/// Trace lengths of the σ-estimator ablation.
+const ABLATION_M: [usize; 5] = [10, 30, 100, 1_000, 20_000];
+
+/// The σ-estimator ablation: population vs sample σ and the sensitivity
+/// of `C_LO` to the trace length `m` (benchmark `corner`, `n = 3`).
+fn ablation_sigma(opts: &CatalogOptions) -> Campaign {
+    let points = ABLATION_M
+        .iter()
+        .map(|&m| PointSpec::new(format!("m{m}"), vec![Param::new("m", m as f64)]))
+        .collect();
+    let spec = CampaignSpec {
+        name: "ablation_sigma".into(),
+        seed: opts.seed.unwrap_or(0),
+        params: vec![],
+        points,
+        replicas: 1,
+    };
+    Campaign {
+        spec,
+        runner: Box::new(AblationRunner {
+            reference: OnceLock::new(),
+        }),
+    }
+}
+
+struct AblationRunner {
+    /// The long reference trace (seed 999) that measures the "true"
+    /// overrun rate of a level, sampled once and shared across units.
+    reference: OnceLock<Result<ExecutionTrace, String>>,
+}
+
+impl AblationRunner {
+    fn reference(&self) -> Result<&ExecutionTrace, ExpError> {
+        self.reference
+            .get_or_init(|| {
+                benchmarks::corner()
+                    .and_then(|b| b.sample_trace(200_000, 999))
+                    .map_err(|e| e.to_string())
+            })
+            .as_ref()
+            .map_err(|e| ExpError::Config(format!("reference trace failed: {e}")))
+    }
+}
+
+impl UnitRunner for AblationRunner {
+    fn run_unit(&self, unit: &WorkUnit, _inner_threads: usize) -> Result<Vec<Metric>, ExpError> {
+        let m = ABLATION_M.get(unit.point).copied().ok_or_else(|| {
+            ExpError::Config(format!("ablation point {} has no trace length", unit.point))
+        })?;
+        let n = 3.0;
+        let bench = benchmarks::corner().map_err(exec_err)?;
+        let trace = bench.sample_trace(m, 4).map_err(exec_err)?;
+        let s = Summary::from_samples(trace.samples())
+            .map_err(|e| ExpError::Config(format!("trace summary failed: {e}")))?;
+        let c_pop = s.mean() + n * s.std_dev();
+        let c_sample = s.mean() + n * s.sample_std_dev();
+        let measured = self
+            .reference()?
+            .overrun_rate(c_pop)
+            .map_err(exec_err)?
+            .rate();
+        Ok(vec![
+            Metric::new("acet", s.mean()),
+            Metric::new("pop_sigma", s.std_dev()),
+            Metric::new("sample_sigma", s.sample_std_dev()),
+            Metric::new("c_lo_pop", c_pop),
+            Metric::new("c_lo_sample", c_sample),
+            Metric::new("delta_pct", (c_sample / c_pop - 1.0) * 100.0),
+            Metric::new("measured_overrun", measured),
+        ])
+    }
+}
+
+fn exec_err(e: mc_exec::ExecError) -> ExpError {
+    ExpError::Config(format!("benchmark error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{run_campaign, RunConfig};
+    use crate::store::Store;
+
+    #[test]
+    fn unknown_campaigns_name_the_known_ones() {
+        let err = build("fig6", &CatalogOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("fig5"), "{err}");
+    }
+
+    #[test]
+    fn fig5_axis_is_policy_major_with_paper_defaults() {
+        let c = build("fig5", &CatalogOptions::default()).unwrap();
+        assert_eq!(c.spec.replicas, 200);
+        assert_eq!(c.spec.seed, 5);
+        assert_eq!(c.spec.points.len(), 5 * 6, "5 policies × 6 utilisations");
+        assert_eq!(c.spec.points[0].label, "chebyshev-ga/u0.40");
+        assert_eq!(c.spec.points[6].label, "lambda-range-[0.2500,1]/u0.40");
+        assert_eq!(c.spec.points[29].label, "acet/u0.90");
+        assert_eq!(c.spec.points[7].param("u"), Some(0.5));
+        assert_eq!(c.spec.points[7].param("u_index"), Some(1.0));
+    }
+
+    #[test]
+    fn fig5_units_reproduce_the_legacy_batch_stream() {
+        // Tiny configuration: ACET policy only takes microseconds per set.
+        let opts = CatalogOptions {
+            sets: Some(3),
+            points: Some(vec![0.5]),
+            ..CatalogOptions::default()
+        };
+        let c = build("fig5", &opts).unwrap();
+        // ACET is the last policy → point index 4 (4 policies before it × 1 u).
+        let acet_point = 4;
+        let unit = c.spec.unit(acet_point * 3 + 1);
+        let metrics = c.runner.run_unit(&unit, 1).unwrap();
+        let expected = evaluate_policy_one_set(
+            0.5,
+            &WcetPolicy::Acet,
+            &GeneratorConfig::default(),
+            derive_set_seed(5, 0, 1),
+            1,
+        )
+        .unwrap();
+        assert_eq!(metrics[2].name, "objective");
+        assert_eq!(metrics[2].value.to_bits(), expected.objective.to_bits());
+    }
+
+    #[test]
+    fn table2_campaign_matches_the_legacy_binary_cells() {
+        let opts = CatalogOptions {
+            samples: Some(400),
+            ..CatalogOptions::default()
+        };
+        let c = build("table2", &opts).unwrap();
+        assert_eq!(c.spec.replicas, 1);
+        assert_eq!(c.spec.points.len(), 5 * 5, "5 benchmarks × n ∈ 0..=4");
+        // Unit for qsort-100 (suite index 0) at n=2.
+        let metrics = c.runner.run_unit(&c.spec.unit(2), 1).unwrap();
+        let suite = benchmarks::table2_suite().unwrap();
+        let trace = suite[0].sample_trace(400, 200).unwrap();
+        let s = trace.summary().unwrap();
+        let level = s.mean() + 2.0 * s.std_dev();
+        assert_eq!(metrics[0].value, one_sided_bound(2.0));
+        assert_eq!(
+            metrics[1].value.to_bits(),
+            trace.overrun_rate(level).unwrap().rate().to_bits()
+        );
+    }
+
+    #[test]
+    fn ablation_campaign_runs_end_to_end() {
+        let c = build("ablation_sigma", &CatalogOptions::default()).unwrap();
+        assert_eq!(c.spec.points.len(), 5);
+        let mut store = Store::in_memory(&c.spec);
+        // Only the two cheapest points, via sharding-free manual units: run
+        // the full (tiny) campaign — the reference trace dominates and is
+        // sampled once.
+        let summary = run_campaign(
+            &c.spec,
+            c.runner.as_ref(),
+            &mut store,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.ran, 5);
+        let aggs = crate::aggregate::aggregate(&c.spec, store.records()).unwrap();
+        assert_eq!(aggs[0].label, "m10");
+        let pop = aggs[0].mean("pop_sigma").unwrap();
+        let sample = aggs[0].mean("sample_sigma").unwrap();
+        assert!(sample > pop, "Bessel correction widens σ at m=10");
+    }
+}

@@ -1,0 +1,745 @@
+//! The crash-safe, append-only JSONL result store.
+//!
+//! Layout: line 1 is the [`StoreHeader`] (schema version, campaign
+//! fingerprint, and the full embedded spec); every further line is one
+//! [`UnitRecord`]. Each record is written with a trailing newline and
+//! `fsync`'d (`File::sync_data`) before the unit counts as complete, so a
+//! crash can lose at most the record being written — never a completed
+//! one, and never the store's integrity.
+//!
+//! On [`Store::create_or_resume`] the store replays itself: a torn or
+//! unparseable *last* line (the crash case) is truncated away; a corrupt
+//! *interior* line is an error (truncation cannot repair it); a header
+//! from a different campaign is a hard mismatch. Everything that replays
+//! cleanly marks its unit complete, which is what lets the runner skip
+//! finished work and resume mid-campaign.
+//!
+//! Byte-stability: the vendored `serde_json` prints every `f64` in its
+//! shortest round-trippable form and parses it back exactly, so a record
+//! survives write → replay → rewrite byte-for-byte. Canonical form
+//! ([`Store::canonical_lines`]) sorts records by unit index; two stores
+//! of the same campaign that completed the same units are canonically
+//! identical regardless of thread count, sharding, or interruption
+//! history.
+
+use crate::spec::{unit_seed, CampaignSpec};
+use crate::{io_err, ExpError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Version of the store's on-disk schema. Bumped on any incompatible
+/// change to the header or record shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The store's first line: schema version, campaign fingerprint, and the
+/// embedded spec (so a store is self-describing — `exp status` needs no
+/// other input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreHeader {
+    /// On-disk schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// [`CampaignSpec::fingerprint`] of the embedded spec.
+    pub fingerprint: String,
+    /// The campaign this store belongs to.
+    pub spec: CampaignSpec,
+}
+
+/// One named result value of a work unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Metric {
+    /// Metric name (e.g. `objective`).
+    pub name: String,
+    /// Metric value.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Builds a metric.
+    pub fn new(name: impl Into<String>, value: f64) -> Self {
+        Metric {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// One completed work unit: its coordinates, its derived seed (recorded
+/// so replay can cross-check the seed contract), and its metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitRecord {
+    /// Flat unit index (`point * replicas + replica`).
+    pub unit: usize,
+    /// Axis-point index.
+    pub point: usize,
+    /// Replica index within the point.
+    pub replica: usize,
+    /// The unit's derived seed.
+    pub seed: u64,
+    /// The unit's results.
+    pub metrics: Vec<Metric>,
+}
+
+/// What [`Store::create_or_resume`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumeInfo {
+    /// Records replayed from an existing store.
+    pub replayed: usize,
+    /// Bytes of torn tail truncated away (0 for a clean store).
+    pub truncated_bytes: u64,
+    /// Whether the file existed with a valid header before this open.
+    pub resumed: bool,
+}
+
+/// An experiment result store: an in-memory replay of its records plus,
+/// for on-disk stores, an append handle that fsyncs every record.
+#[derive(Debug)]
+pub struct Store {
+    header: StoreHeader,
+    records: Vec<UnitRecord>,
+    completed: HashSet<usize>,
+    file: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl Store {
+    /// A memory-only store for in-process runs (the bench binaries) —
+    /// same validation, no file.
+    #[must_use]
+    pub fn in_memory(spec: &CampaignSpec) -> Self {
+        Store {
+            header: StoreHeader {
+                schema_version: SCHEMA_VERSION,
+                fingerprint: spec.fingerprint(),
+                spec: spec.clone(),
+            },
+            records: Vec::new(),
+            completed: HashSet::new(),
+            file: None,
+            path: None,
+        }
+    }
+
+    /// Opens (or creates) the store at `path` for campaign `spec`.
+    ///
+    /// A missing or empty file is initialised with a fresh header. An
+    /// existing file is replayed: its header must match the spec's
+    /// fingerprint and schema version exactly; a torn tail is truncated;
+    /// every valid record marks its unit complete.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, interior corruption, or a header from a different
+    /// campaign.
+    pub fn create_or_resume(
+        path: &Path,
+        spec: &CampaignSpec,
+    ) -> Result<(Self, ResumeInfo), ExpError> {
+        let mut store = Store::in_memory(spec);
+        let mut info = ResumeInfo::default();
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
+
+        let parsed = parse_store_bytes(&bytes, spec, &path.display().to_string())?;
+        match parsed {
+            Parsed::Fresh => {
+                // Missing header (empty file or torn header line): start
+                // clean.
+                file.set_len(0).map_err(|e| io_err(path, e))?;
+                file.seek(SeekFrom::Start(0)).map_err(|e| io_err(path, e))?;
+                write_line(&mut file, path, &store.header)?;
+                info.truncated_bytes = bytes.len() as u64;
+            }
+            Parsed::Replayed { records, good_len } => {
+                info.resumed = true;
+                info.replayed = records.len();
+                info.truncated_bytes = (bytes.len() - good_len) as u64;
+                if good_len < bytes.len() {
+                    file.set_len(good_len as u64).map_err(|e| io_err(path, e))?;
+                    file.sync_data().map_err(|e| io_err(path, e))?;
+                }
+                file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, e))?;
+                for r in records {
+                    store.completed.insert(r.unit);
+                    store.records.push(r);
+                }
+            }
+        }
+        store.file = Some(file);
+        store.path = Some(path.to_path_buf());
+        Ok((store, info))
+    }
+
+    /// Loads a store read-only (for `exp status`, merging, and export).
+    /// Tolerates a torn tail in memory without modifying the file. When
+    /// `expected` is given, the header must match it.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a missing/torn header, interior corruption, or a
+    /// campaign mismatch.
+    pub fn load(path: &Path, expected: Option<&CampaignSpec>) -> Result<Self, ExpError> {
+        let display = path.display().to_string();
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err(path, e))?;
+        let (header, rest) = parse_header(&bytes, &display)?.ok_or_else(|| ExpError::Store {
+            path: display.clone(),
+            detail: "missing or torn header line".into(),
+        })?;
+        // With no expected spec, check the header against its own embedded
+        // spec — schema version and self-consistent fingerprint still hold.
+        check_header(&header, expected.unwrap_or(&header.spec), &display)?;
+        let records = parse_records(rest, &header.spec, &display)?.0;
+        let mut store = Store {
+            header,
+            records: Vec::new(),
+            completed: HashSet::new(),
+            file: None,
+            path: Some(path.to_path_buf()),
+        };
+        for r in records {
+            store.completed.insert(r.unit);
+            store.records.push(r);
+        }
+        Ok(store)
+    }
+
+    /// The store's header.
+    #[must_use]
+    pub fn header(&self) -> &StoreHeader {
+        &self.header
+    }
+
+    /// The campaign this store belongs to.
+    #[must_use]
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.header.spec
+    }
+
+    /// The replayed/appended records, in store order.
+    #[must_use]
+    pub fn records(&self) -> &[UnitRecord] {
+        &self.records
+    }
+
+    /// Whether unit `index` already has a record.
+    #[must_use]
+    pub fn is_complete(&self, index: usize) -> bool {
+        self.completed.contains(&index)
+    }
+
+    /// Number of completed units.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The store path, when on disk.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Appends one record: validates it against the spec, writes its line,
+    /// and `fsync`s before returning — once this returns `Ok`, the unit
+    /// survives any crash.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate or out-of-contract records, and I/O failures.
+    pub fn append(&mut self, record: UnitRecord) -> Result<(), ExpError> {
+        let display = self
+            .path
+            .as_ref()
+            .map_or_else(|| "<memory>".to_string(), |p| p.display().to_string());
+        validate_record(&record, &self.header.spec, &display)?;
+        if self.completed.contains(&record.unit) {
+            return Err(ExpError::Store {
+                path: display,
+                detail: format!("duplicate record for unit {}", record.unit),
+            });
+        }
+        if let (Some(file), Some(path)) = (self.file.as_mut(), self.path.as_ref()) {
+            let mut line = serde_json::to_string(&record).map_err(|e| ExpError::Store {
+                path: display.clone(),
+                detail: format!("record serialization failed: {e}"),
+            })?;
+            line.push('\n');
+            file.write_all(line.as_bytes())
+                .map_err(|e| io_err(path, e))?;
+            file.sync_data().map_err(|e| io_err(path, e))?;
+        }
+        self.completed.insert(record.unit);
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// The store's canonical text: the header line followed by every
+    /// record sorted by unit index. Two stores of the same campaign with
+    /// the same completed units render identically — the byte-identity
+    /// form behind `exp merge` and the resume-correctness tests.
+    #[must_use]
+    pub fn canonical_lines(&self) -> String {
+        let mut sorted: Vec<&UnitRecord> = self.records.iter().collect();
+        sorted.sort_by_key(|r| r.unit);
+        let mut out = serde_json::to_string(&self.header).expect("header serialization");
+        out.push('\n');
+        for r in sorted {
+            out.push_str(&serde_json::to_string(r).expect("record serialization"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merges several stores of the *same campaign* into one in-memory
+    /// store: fingerprints must agree, identical duplicate records dedup,
+    /// conflicting records for the same unit are an error.
+    ///
+    /// # Errors
+    ///
+    /// Campaign mismatches or conflicting duplicates.
+    pub fn merge(stores: &[Store]) -> Result<Store, ExpError> {
+        let first = stores
+            .first()
+            .ok_or_else(|| ExpError::Config("merge needs at least one store".into()))?;
+        let mut merged = Store::in_memory(first.spec());
+        for s in stores {
+            let display = s
+                .path
+                .as_ref()
+                .map_or_else(|| "<memory>".to_string(), |p| p.display().to_string());
+            check_header(&s.header, first.spec(), &display)?;
+            for r in &s.records {
+                if merged.completed.contains(&r.unit) {
+                    let existing = merged
+                        .records
+                        .iter()
+                        .find(|m| m.unit == r.unit)
+                        .expect("completed implies a record");
+                    if existing != r {
+                        return Err(ExpError::Store {
+                            path: display,
+                            detail: format!(
+                                "unit {} has conflicting records across stores",
+                                r.unit
+                            ),
+                        });
+                    }
+                } else {
+                    merged.completed.insert(r.unit);
+                    merged.records.push(r.clone());
+                }
+            }
+        }
+        Ok(merged)
+    }
+}
+
+/// Serializes `value` as one JSON line, writes it, and fsyncs.
+fn write_line<T: Serialize>(file: &mut File, path: &Path, value: &T) -> Result<(), ExpError> {
+    let mut line = serde_json::to_string(value).map_err(|e| ExpError::Store {
+        path: path.display().to_string(),
+        detail: format!("serialization failed: {e}"),
+    })?;
+    line.push('\n');
+    file.write_all(line.as_bytes())
+        .map_err(|e| io_err(path, e))?;
+    file.sync_data().map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+enum Parsed {
+    /// No usable header: initialise a fresh store.
+    Fresh,
+    /// A valid header for this campaign plus its replayable records.
+    Replayed {
+        records: Vec<UnitRecord>,
+        /// Prefix length (bytes) of the valid content; anything beyond is
+        /// a torn tail to truncate.
+        good_len: usize,
+    },
+}
+
+/// Splits off and parses the header line. `Ok(None)` means the file is
+/// empty or its first line is torn (no trailing newline) — the
+/// crash-during-header-write case.
+fn parse_header<'a>(
+    bytes: &'a [u8],
+    display: &str,
+) -> Result<Option<(StoreHeader, &'a [u8])>, ExpError> {
+    let Some(nl) = bytes.iter().position(|&b| b == b'\n') else {
+        return Ok(None);
+    };
+    let line = std::str::from_utf8(&bytes[..nl]).map_err(|_| ExpError::Store {
+        path: display.to_string(),
+        detail: "header line is not UTF-8".into(),
+    })?;
+    let header: StoreHeader = serde_json::from_str(line).map_err(|e| ExpError::Store {
+        path: display.to_string(),
+        detail: format!("header line does not parse: {e}"),
+    })?;
+    Ok(Some((header, &bytes[nl + 1..])))
+}
+
+/// Checks a parsed header against the expected campaign.
+fn check_header(header: &StoreHeader, spec: &CampaignSpec, display: &str) -> Result<(), ExpError> {
+    if header.schema_version != SCHEMA_VERSION {
+        return Err(ExpError::Mismatch {
+            path: display.to_string(),
+            detail: format!(
+                "schema version {} (this build reads {SCHEMA_VERSION})",
+                header.schema_version
+            ),
+        });
+    }
+    let expected = spec.fingerprint();
+    if header.fingerprint != expected {
+        return Err(ExpError::Mismatch {
+            path: display.to_string(),
+            detail: format!(
+                "fingerprint {} but the requested campaign is {expected}",
+                header.fingerprint
+            ),
+        });
+    }
+    if header.fingerprint != header.spec.fingerprint() {
+        return Err(ExpError::Store {
+            path: display.to_string(),
+            detail: "header fingerprint does not match its embedded spec".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Parses the record lines after the header. Returns the records and the
+/// byte length of the valid region *relative to the record bytes*. A
+/// torn or unparseable LAST line is dropped (crash case); an unparseable
+/// interior line is corruption.
+fn parse_records(
+    bytes: &[u8],
+    spec: &CampaignSpec,
+    display: &str,
+) -> Result<(Vec<UnitRecord>, usize), ExpError> {
+    let mut records = Vec::new();
+    let mut seen = HashSet::new();
+    let mut good_len = 0usize;
+    let mut offset = 0usize;
+    let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();
+    for (i, raw) in lines.iter().enumerate() {
+        let last = i + 1 == lines.len();
+        let complete = raw.last() == Some(&b'\n');
+        let parsed = std::str::from_utf8(raw)
+            .ok()
+            .filter(|_| complete)
+            .and_then(|s| serde_json::from_str::<UnitRecord>(s.trim_end_matches('\n')).ok());
+        match parsed {
+            Some(record) => {
+                validate_record(&record, spec, display)?;
+                if !seen.insert(record.unit) {
+                    return Err(ExpError::Store {
+                        path: display.to_string(),
+                        detail: format!("duplicate record for unit {}", record.unit),
+                    });
+                }
+                offset += raw.len();
+                good_len = offset;
+                records.push(record);
+            }
+            None if last => break, // torn or garbled tail: truncate.
+            None => {
+                return Err(ExpError::Store {
+                    path: display.to_string(),
+                    detail: format!("record line {} does not parse", i + 2),
+                });
+            }
+        }
+    }
+    Ok((records, good_len))
+}
+
+/// Full parse of a store file for `create_or_resume`.
+fn parse_store_bytes(bytes: &[u8], spec: &CampaignSpec, display: &str) -> Result<Parsed, ExpError> {
+    let Some((header, rest)) = parse_header(bytes, display)? else {
+        return Ok(Parsed::Fresh);
+    };
+    check_header(&header, spec, display)?;
+    let header_len = bytes.len() - rest.len();
+    let (records, rec_len) = parse_records(rest, spec, display)?;
+    Ok(Parsed::Replayed {
+        records,
+        good_len: header_len + rec_len,
+    })
+}
+
+/// Checks a record against the campaign's unit and seed contract.
+fn validate_record(
+    record: &UnitRecord,
+    spec: &CampaignSpec,
+    display: &str,
+) -> Result<(), ExpError> {
+    let bad = |detail: String| ExpError::Store {
+        path: display.to_string(),
+        detail,
+    };
+    if spec.replicas == 0 || record.unit >= spec.total_units() {
+        return Err(bad(format!(
+            "unit {} out of range (campaign has {} units)",
+            record.unit,
+            spec.total_units()
+        )));
+    }
+    if record.unit != record.point * spec.replicas + record.replica
+        || record.replica >= spec.replicas
+    {
+        return Err(bad(format!(
+            "unit {} does not match point {} / replica {}",
+            record.unit, record.point, record.replica
+        )));
+    }
+    let expected = unit_seed(spec.seed, record.point, record.replica);
+    if record.seed != expected {
+        return Err(bad(format!(
+            "unit {} carries seed {} but the campaign derives {expected}",
+            record.unit, record.seed
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Param, PointSpec};
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "store-test".into(),
+            seed: 9,
+            params: vec![],
+            points: vec![
+                PointSpec::new("a", vec![Param::new("u", 0.5)]),
+                PointSpec::new("b", vec![Param::new("u", 0.8)]),
+            ],
+            replicas: 2,
+        }
+    }
+
+    fn record(s: &CampaignSpec, unit: usize, value: f64) -> UnitRecord {
+        let u = s.unit(unit);
+        UnitRecord {
+            unit: u.index,
+            point: u.point,
+            replica: u.replica,
+            seed: u.seed,
+            metrics: vec![Metric::new("objective", value)],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mc-exp-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn fresh_store_writes_header_and_records() {
+        let s = spec();
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        let (mut store, info) = Store::create_or_resume(&path, &s).unwrap();
+        assert!(!info.resumed);
+        store.append(record(&s, 0, 0.25)).unwrap();
+        store.append(record(&s, 3, 0.5)).unwrap();
+        drop(store);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header: StoreHeader = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(header.schema_version, SCHEMA_VERSION);
+        assert_eq!(header.fingerprint, s.fingerprint());
+        assert_eq!(header.spec, s);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_replays_and_skips_completed_units() {
+        let s = spec();
+        let path = tmp("resume");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = Store::create_or_resume(&path, &s).unwrap();
+            store.append(record(&s, 1, 0.75)).unwrap();
+        }
+        let (store, info) = Store::create_or_resume(&path, &s).unwrap();
+        assert!(info.resumed);
+        assert_eq!(info.replayed, 1);
+        assert_eq!(info.truncated_bytes, 0);
+        assert!(store.is_complete(1));
+        assert!(!store.is_complete(0));
+        assert_eq!(store.records()[0].metrics[0].value, 0.75);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let s = spec();
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = Store::create_or_resume(&path, &s).unwrap();
+            store.append(record(&s, 0, 0.1)).unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+        // Simulate a crash mid-write of the next record.
+        let mut torn = clean.clone();
+        torn.extend_from_slice(br#"{"unit":1,"point":0,"rep"#);
+        std::fs::write(&path, &torn).unwrap();
+
+        let (mut store, info) = Store::create_or_resume(&path, &s).unwrap();
+        assert_eq!(info.replayed, 1);
+        assert_eq!(info.truncated_bytes, (torn.len() - clean.len()) as u64);
+        store.append(record(&s, 1, 0.2)).unwrap();
+        drop(store);
+        // The rewritten record parses and the file is clean again.
+        let (store, info) = Store::create_or_resume(&path, &s).unwrap();
+        assert_eq!(info.replayed, 2);
+        assert_eq!(info.truncated_bytes, 0);
+        assert!(store.is_complete(0) && store.is_complete(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbled_last_line_with_newline_is_also_recovered() {
+        let s = spec();
+        let path = tmp("garbled");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = Store::create_or_resume(&path, &s).unwrap();
+            store.append(record(&s, 0, 0.1)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"not json at all\n");
+        std::fs::write(&path, &bytes).unwrap();
+        let (store, info) = Store::create_or_resume(&path, &s).unwrap();
+        assert_eq!(info.replayed, 1);
+        assert_eq!(info.truncated_bytes, 16);
+        assert_eq!(store.completed_count(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error_not_a_truncation() {
+        let s = spec();
+        let path = tmp("interior");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = Store::create_or_resume(&path, &s).unwrap();
+            store.append(record(&s, 0, 0.1)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let broken = text.replacen("\"unit\":0", "\"unit\":oops", 1);
+        let broken = broken + &serde_json::to_string(&record(&s, 1, 0.2)).unwrap() + "\n";
+        std::fs::write(&path, broken).unwrap();
+        let err = Store::create_or_resume(&path, &s).unwrap_err();
+        assert!(matches!(err, ExpError::Store { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_campaign_is_a_mismatch() {
+        let s = spec();
+        let path = tmp("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let _ = Store::create_or_resume(&path, &s).unwrap();
+        let mut other = spec();
+        other.seed = 10;
+        let err = Store::create_or_resume(&path, &other).unwrap_err();
+        assert!(matches!(err, ExpError::Mismatch { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_validation_enforces_the_seed_contract() {
+        let s = spec();
+        let mut store = Store::in_memory(&s);
+        let mut r = record(&s, 0, 0.1);
+        r.seed ^= 1;
+        assert!(matches!(
+            store.append(r).unwrap_err(),
+            ExpError::Store { .. }
+        ));
+        let mut r = record(&s, 0, 0.1);
+        r.unit = 99;
+        assert!(store.append(r).is_err());
+        store.append(record(&s, 0, 0.1)).unwrap();
+        assert!(store.append(record(&s, 0, 0.1)).is_err());
+    }
+
+    #[test]
+    fn canonical_lines_sort_by_unit_and_round_trip_bytes() {
+        let s = spec();
+        let mut a = Store::in_memory(&s);
+        a.append(record(&s, 2, 0.3)).unwrap();
+        a.append(record(&s, 0, 0.1)).unwrap();
+        let mut b = Store::in_memory(&s);
+        b.append(record(&s, 0, 0.1)).unwrap();
+        b.append(record(&s, 2, 0.3)).unwrap();
+        assert_eq!(a.canonical_lines(), b.canonical_lines());
+        let first_record = a.canonical_lines().lines().nth(1).unwrap().to_string();
+        let parsed: UnitRecord = serde_json::from_str(&first_record).unwrap();
+        assert_eq!(parsed.unit, 0);
+    }
+
+    #[test]
+    fn merge_dedups_identical_and_rejects_conflicts() {
+        let s = spec();
+        let mut a = Store::in_memory(&s);
+        a.append(record(&s, 0, 0.1)).unwrap();
+        a.append(record(&s, 1, 0.2)).unwrap();
+        let mut b = Store::in_memory(&s);
+        b.append(record(&s, 1, 0.2)).unwrap();
+        b.append(record(&s, 2, 0.3)).unwrap();
+        let merged = Store::merge(&[a, b]).unwrap();
+        assert_eq!(merged.completed_count(), 3);
+
+        let mut c = Store::in_memory(&s);
+        c.append(record(&s, 0, 0.1)).unwrap();
+        let mut d = Store::in_memory(&s);
+        d.append(record(&s, 0, 0.9)).unwrap();
+        assert!(matches!(
+            Store::merge(&[c, d]).unwrap_err(),
+            ExpError::Store { .. }
+        ));
+    }
+
+    #[test]
+    fn load_reads_without_modifying_a_torn_file() {
+        let s = spec();
+        let path = tmp("load");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut store, _) = Store::create_or_resume(&path, &s).unwrap();
+            store.append(record(&s, 0, 0.1)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{torn");
+        std::fs::write(&path, &bytes).unwrap();
+        let store = Store::load(&path, Some(&s)).unwrap();
+        assert_eq!(store.completed_count(), 1);
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "load must not write");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

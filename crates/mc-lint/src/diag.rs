@@ -93,6 +93,18 @@ pub enum Code {
     S008,
     /// Task-generator configuration invalid.
     S009,
+    /// Campaign has no axis points.
+    E001,
+    /// Campaign replica count is zero.
+    E002,
+    /// Shard index not below the shard count.
+    E003,
+    /// Duplicate campaign point labels.
+    E004,
+    /// Output path collision (store and export would overwrite each other).
+    E005,
+    /// Campaign is very large.
+    E006,
 }
 
 impl Code {
@@ -100,9 +112,9 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         use Code::{
-            C001, C002, C003, C004, C005, C006, C007, C008, C009, S001, S002, S003, S004, S005,
-            S006, S007, S008, S009, T001, T002, T003, T004, T005, T006, T007, T008, T009, T010,
-            T011, T012,
+            C001, C002, C003, C004, C005, C006, C007, C008, C009, E001, E002, E003, E004, E005,
+            E006, S001, S002, S003, S004, S005, S006, S007, S008, S009, T001, T002, T003, T004,
+            T005, T006, T007, T008, T009, T010, T011, T012,
         };
         match self {
             C001 | C002 | C003 | C004 | C005 | C006 => Severity::Error,
@@ -114,6 +126,8 @@ impl Code {
             S001 | S002 | S003 | S004 | S005 | S007 | S009 => Severity::Error,
             S006 => Severity::Warning,
             S008 => Severity::Info,
+            E001 | E002 | E003 | E004 | E005 => Severity::Error,
+            E006 => Severity::Warning,
         }
     }
 
@@ -152,6 +166,12 @@ impl Code {
             Code::S007 => "Chebyshev factor cap out of range",
             Code::S008 => "Chebyshev factor cap below the paper's operating region",
             Code::S009 => "task-generator configuration invalid",
+            Code::E001 => "campaign has no axis points",
+            Code::E002 => "campaign replica count is zero",
+            Code::E003 => "shard index is not below the shard count",
+            Code::E004 => "duplicate campaign point labels",
+            Code::E005 => "output path collision",
+            Code::E006 => "campaign is very large",
         }
     }
 }
@@ -404,6 +424,12 @@ mod tests {
             Code::S007,
             Code::S008,
             Code::S009,
+            Code::E001,
+            Code::E002,
+            Code::E003,
+            Code::E004,
+            Code::E005,
+            Code::E006,
         ] {
             assert!(!code.description().is_empty());
             let _ = code.severity();

@@ -1,0 +1,224 @@
+//! Campaign-specification linting (`E0xx` diagnostics) for the `mc-exp`
+//! experiment runner.
+//!
+//! `mc-exp` sits above this crate in the dependency graph (it depends on
+//! `chebymc-core`, which depends on `mc-lint`), so the pass cannot see its
+//! `CampaignSpec` type directly. Instead it lints [`CampaignCheck`], a
+//! plain summary of the fields the pass cares about; `mc-exp` builds one
+//! from a spec plus the run configuration and fails fast on errors, so
+//! `chebymc exp run` reports named diagnostics like every other subsystem
+//! instead of crashing mid-campaign.
+
+use crate::diag::{Code, Diagnostic, LintReport};
+
+/// Campaigns past this many work units get an [`Code::E006`] warning.
+const UNITS_WARN: u64 = 10_000_000;
+
+/// The campaign facts the `E0xx` pass checks: axis points, replication,
+/// sharding, and output paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheck {
+    /// Campaign name (used as the diagnostic source label).
+    pub name: String,
+    /// One label per axis point.
+    pub point_labels: Vec<String>,
+    /// Task-set replicas per point.
+    pub replicas: usize,
+    /// Shard index of this process (0-based).
+    pub shard_index: usize,
+    /// Total number of shards.
+    pub shard_count: usize,
+    /// Result-store path, when the campaign writes one.
+    pub store_path: Option<String>,
+    /// CSV-export path, when one is requested alongside the store.
+    pub export_path: Option<String>,
+}
+
+impl CampaignCheck {
+    /// A single-shard check with no output paths — the common in-process
+    /// case; set the sharding and path fields for CLI runs.
+    #[must_use]
+    pub fn new(name: impl Into<String>, point_labels: Vec<String>, replicas: usize) -> Self {
+        CampaignCheck {
+            name: name.into(),
+            point_labels,
+            replicas,
+            shard_index: 0,
+            shard_count: 1,
+            store_path: None,
+            export_path: None,
+        }
+    }
+}
+
+/// Lints a campaign specification summary.
+#[must_use]
+pub fn lint_campaign(check: &CampaignCheck) -> LintReport {
+    let mut report = LintReport::new();
+    let src = format!("campaign:{}", check.name);
+
+    if check.point_labels.is_empty() {
+        report.push(Diagnostic::new(
+            Code::E001,
+            &src,
+            "the campaign axis is empty: no points, so no work units",
+        ));
+    }
+    if check.replicas == 0 {
+        report.push(Diagnostic::new(
+            Code::E002,
+            &src,
+            "replica count is 0; every point would average zero task sets",
+        ));
+    }
+    if check.shard_count == 0 || check.shard_index >= check.shard_count {
+        report.push(Diagnostic::new(
+            Code::E003,
+            &src,
+            format!(
+                "shard {}/{} is invalid; the index must be below the count \
+                 (valid shards are 0/{n} .. {m}/{n})",
+                check.shard_index,
+                check.shard_count,
+                n = check.shard_count.max(1),
+                m = check.shard_count.max(1) - 1,
+            ),
+        ));
+    }
+    let mut sorted: Vec<&String> = check.point_labels.iter().collect();
+    sorted.sort();
+    for pair in sorted.windows(2) {
+        if pair[0] == pair[1] {
+            report.push(Diagnostic::new(
+                Code::E004,
+                &src,
+                format!(
+                    "point label `{}` appears more than once; aggregation \
+                     over labels would silently merge distinct points",
+                    pair[0]
+                ),
+            ));
+        }
+    }
+    if let (Some(store), Some(export)) = (&check.store_path, &check.export_path) {
+        if store == export {
+            report.push(Diagnostic::new(
+                Code::E005,
+                &src,
+                format!(
+                    "store and export both write `{store}`; the export \
+                     would clobber the crash-safe result store"
+                ),
+            ));
+        }
+    }
+    let units = check.point_labels.len() as u64 * check.replicas as u64;
+    if units > UNITS_WARN {
+        report.push(Diagnostic::new(
+            Code::E006,
+            &src,
+            format!(
+                "{units} work units ({} points × {} replicas) is far beyond \
+                 the paper's scale; expect very long runtimes",
+                check.point_labels.len(),
+                check.replicas,
+            ),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn valid() -> CampaignCheck {
+        CampaignCheck::new("fig5", vec!["a".into(), "b".into()], 100)
+    }
+
+    #[test]
+    fn valid_campaign_is_clean() {
+        assert!(lint_campaign(&valid()).is_clean());
+    }
+
+    #[test]
+    fn empty_axis_is_e001() {
+        let mut c = valid();
+        c.point_labels.clear();
+        let r = lint_campaign(&c);
+        assert_eq!(r.codes(), vec![Code::E001]);
+        assert!(r.has_errors());
+    }
+
+    #[test]
+    fn zero_replicas_is_e002() {
+        let mut c = valid();
+        c.replicas = 0;
+        assert_eq!(lint_campaign(&c).codes(), vec![Code::E002]);
+    }
+
+    #[test]
+    fn bad_shards_are_e003() {
+        let mut c = valid();
+        c.shard_index = 2;
+        c.shard_count = 2;
+        let r = lint_campaign(&c);
+        assert_eq!(r.codes(), vec![Code::E003]);
+        assert!(r.render_human().contains("2/2"));
+        c.shard_index = 0;
+        c.shard_count = 0;
+        assert_eq!(lint_campaign(&c).codes(), vec![Code::E003]);
+        c.shard_index = 1;
+        c.shard_count = 2;
+        assert!(lint_campaign(&c).is_clean());
+    }
+
+    #[test]
+    fn duplicate_labels_are_e004() {
+        let mut c = valid();
+        c.point_labels = vec!["u0.5".into(), "u0.8".into(), "u0.5".into()];
+        let r = lint_campaign(&c);
+        assert_eq!(r.codes(), vec![Code::E004]);
+        assert!(r.render_human().contains("u0.5"));
+    }
+
+    #[test]
+    fn colliding_paths_are_e005() {
+        let mut c = valid();
+        c.store_path = Some("out.jsonl".into());
+        c.export_path = Some("out.jsonl".into());
+        assert_eq!(lint_campaign(&c).codes(), vec![Code::E005]);
+        c.export_path = Some("out.csv".into());
+        assert!(lint_campaign(&c).is_clean());
+    }
+
+    #[test]
+    fn huge_campaigns_warn_e006() {
+        let mut c = valid();
+        c.replicas = 20_000_000;
+        let r = lint_campaign(&c);
+        assert_eq!(r.codes(), vec![Code::E006]);
+        assert!(!r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn multiple_violations_report_together() {
+        let c = CampaignCheck {
+            name: "broken".into(),
+            point_labels: vec![],
+            replicas: 0,
+            shard_index: 3,
+            shard_count: 3,
+            store_path: Some("x".into()),
+            export_path: Some("x".into()),
+        };
+        let r = lint_campaign(&c);
+        assert_eq!(
+            r.codes(),
+            vec![Code::E001, Code::E002, Code::E003, Code::E005]
+        );
+        assert_eq!(r.count(Severity::Error), 4);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`scheme_pass`] checks GA, problem, and generator configuration
 //!   (`S0xx`), reporting every violation at once instead of failing on the
 //!   first.
+//! * [`exp_pass`] checks experiment-campaign specifications (`E0xx`):
+//!   axis/replica emptiness, shard validity, label collisions, and output
+//!   path clashes, so `chebymc exp run` fails fast with named diagnostics.
 //!
 //! Diagnostics carry stable codes ([`Code`]), fixed severities
 //! ([`Severity`]), and a source label; a [`LintReport`] renders either for
@@ -27,11 +30,13 @@
 
 pub mod cfg_pass;
 pub mod diag;
+pub mod exp_pass;
 pub mod scheme_pass;
 pub mod task_pass;
 
 pub use cfg_pass::{analyze_structure, lint_cfg, CfgStructure};
 pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use exp_pass::{lint_campaign, CampaignCheck};
 pub use scheme_pass::{lint_ga_config, lint_generator_config, lint_problem_config};
 pub use task_pass::lint_taskset;
 

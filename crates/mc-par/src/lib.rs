@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -354,6 +354,29 @@ impl WorkerPool {
         }
     }
 
+    /// Like [`WorkerPool::for_each`], but `f` returns a *continue* flag:
+    /// returning `false` requests cancellation. Indices already claimed
+    /// keep running to completion; unclaimed chunks are skipped. Whether
+    /// trailing indices run after a `false` depends on thread timing, so
+    /// this is only for abandoning work whose results no longer matter
+    /// (a failed campaign unit, say) — never for results that feed later
+    /// computation.
+    ///
+    /// Returns `true` when every index ran without any cancellation
+    /// request, `false` when at least one call returned `false`.
+    pub fn for_each_while<F>(&self, count: usize, f: F) -> bool
+    where
+        F: Fn(usize) -> bool + Sync,
+    {
+        let stop = AtomicBool::new(false);
+        self.for_each(count, |i| {
+            if !stop.load(Ordering::Relaxed) && !f(i) {
+                stop.store(true, Ordering::Relaxed);
+            }
+        });
+        !stop.load(Ordering::Relaxed)
+    }
+
     /// Computes `out[i] = f(i)` for every slot of `out` in parallel.
     ///
     /// This is the allocation-free workhorse behind the GA's fitness
@@ -493,6 +516,40 @@ mod tests {
         let mut one = [0u8];
         pool.fill(&mut one, |_| 7);
         assert_eq!(one[0], 7);
+    }
+
+    #[test]
+    fn for_each_while_runs_everything_without_cancellation() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+            let complete = pool.for_each_while(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                true
+            });
+            assert!(complete);
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn for_each_while_cancellation_skips_pending_work() {
+        for threads in [1, 4] {
+            let pool = WorkerPool::new(threads);
+            let ran = AtomicU64::new(0);
+            let complete = pool.for_each_while(10_000, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i != 5 // cancel once index 5 is seen
+            });
+            assert!(!complete);
+            // Index 5 is claimed early (low indices come off the cursor
+            // first), so a large tail of the range must have been skipped.
+            assert!(
+                ran.load(Ordering::Relaxed) < 10_000,
+                "{} indices ran despite cancellation ({threads} threads)",
+                ran.load(Ordering::Relaxed)
+            );
+        }
     }
 
     #[test]

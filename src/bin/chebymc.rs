@@ -8,6 +8,8 @@
 //! chebymc simulate designed.json --seconds 60 --policy degrade:0.5 --model profile
 //! chebymc lint     bundle.json --format json
 //! chebymc lint     --workload workload.json --benchmark all
+//! chebymc exp run fig5 --store fig5.jsonl --sets 50
+//! chebymc exp status fig5.jsonl
 //! ```
 //!
 //! Workload files are the validated JSON format of
@@ -43,9 +45,35 @@ USAGE:
   chebymc lint [bundle.json] [--workload <w.json>] [--program <p.prog>]
                [--benchmark <name>|all] [--format human|json] [-o <file>]
       Static analysis: CFG structure (unbounded/irreducible loops,
-      unreachable blocks), task-set invariants, and scheme configuration.
-      Diagnostics carry stable codes (C0xx/T0xx/S0xx); exits non-zero
-      when any error-severity finding is present.
+      unreachable blocks), task-set invariants, scheme configuration, and
+      campaign specs. Diagnostics carry stable codes
+      (C0xx/T0xx/S0xx/E0xx); exits non-zero when any error-severity
+      finding is present.
+
+  chebymc exp list
+      List the built-in experiment campaigns.
+
+  chebymc exp run <campaign> [--store <file.jsonl>] [--sets <n>]
+                  [--samples <n>] [--seed <n>] [--threads <n>]
+                  [--shard <i/n>] [--csv <file.csv>] [--quiet]
+      Run (or resume) a campaign against a crash-safe JSONL result
+      store: completed units are skipped on restart, shards split the
+      units across processes, and every record is fsync'd before it
+      counts. `--csv` exports the per-point means once the campaign is
+      complete.
+
+  chebymc exp status <store.jsonl>
+      Describe a result store: campaign, fingerprint, completed units.
+
+  chebymc exp merge -o <out.jsonl> <store.jsonl>...
+      Merge shard stores of one campaign into a canonical store
+      (records sorted by unit; conflicting records are an error).
+
+  chebymc exp export-csv <store.jsonl> [-o <file.csv>] [--per-unit]
+      Export per-point means (or raw per-unit rows) as CSV.
+
+  chebymc --version
+      Print the version.
 
 Workload files are validated JSON; see `chebymc generate` for a template.
 ";
@@ -75,12 +103,54 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "simulate" => cmd_simulate(rest),
         "wcet" => cmd_wcet(rest),
         "lint" => cmd_lint(rest),
+        "exp" => cmd_exp(rest),
+        "version" | "--version" | "-V" => {
+            println!("chebymc {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand `{other}`").into()),
+        other => match suggest_subcommand(other) {
+            Some(near) => {
+                Err(format!("unknown subcommand `{other}` (did you mean `{near}`?)").into())
+            }
+            None => Err(format!("unknown subcommand `{other}`").into()),
+        },
     }
+}
+
+/// The dispatchable subcommand names, for typo suggestions.
+const SUBCOMMANDS: &[&str] = &[
+    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "help", "version",
+];
+
+/// Suggests the nearest valid subcommand when the typo is close enough
+/// (edit distance at most 2, and less than the typed word's length).
+fn suggest_subcommand(typed: &str) -> Option<&'static str> {
+    SUBCOMMANDS
+        .iter()
+        .map(|&cmd| (edit_distance(typed, cmd), cmd))
+        .min()
+        .filter(|&(d, _)| d <= 2 && d < typed.chars().count())
+        .map(|(_, cmd)| cmd)
+}
+
+/// Levenshtein distance between two short strings.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            current.push(sub.min(prev[j + 1] + 1).min(current[j] + 1));
+        }
+        prev = current;
+    }
+    prev[b.len()]
 }
 
 /// Pulls `--flag value` out of `args`, returning the remaining positional
@@ -340,6 +410,224 @@ fn cmd_lint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
     Ok(())
+}
+
+fn cmd_exp(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(sub) = args.first() else {
+        return Err("exp needs a subcommand: list, run, status, merge, or export-csv".into());
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "list" => exp_list(),
+        "run" => exp_run(rest),
+        "status" => exp_status(rest),
+        "merge" => exp_merge(rest),
+        "export-csv" => exp_export_csv(rest),
+        other => Err(format!(
+            "unknown exp subcommand `{other}` (expected list, run, status, merge, or export-csv)"
+        )
+        .into()),
+    }
+}
+
+/// Removes a boolean `--flag` from `args`, reporting whether it was there.
+fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() < before
+}
+
+fn exp_list() -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::catalog;
+    for name in catalog::names() {
+        let c = catalog::build(name, &catalog::CatalogOptions::default())?;
+        println!(
+            "{name:16} {} points × {} replicas = {} units (default scale)",
+            c.spec.points.len(),
+            c.spec.replicas,
+            c.spec.total_units()
+        );
+    }
+    Ok(())
+}
+
+fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::{
+        aggregate, catalog, export_points_csv, run_campaign, RunConfig, Shard, Store,
+    };
+    let mut args = args.to_vec();
+    let quiet = take_switch(&mut args, "--quiet");
+    let (mut store_path, mut sets, mut samples, mut seed, mut threads, mut shard, mut csv) =
+        (None, None, None, None, None, None, None);
+    let positional = parse_flags(
+        &args,
+        &mut [
+            ("--store", &mut store_path),
+            ("--sets", &mut sets),
+            ("--samples", &mut samples),
+            ("--seed", &mut seed),
+            ("--threads", &mut threads),
+            ("--shard", &mut shard),
+            ("--csv", &mut csv),
+        ],
+    )?;
+    let [name] = positional.as_slice() else {
+        return Err("exp run needs exactly one campaign name (see `chebymc exp list`)".into());
+    };
+    let opts = catalog::CatalogOptions {
+        sets: sets.as_deref().map(str::parse).transpose()?,
+        samples: samples.as_deref().map(str::parse).transpose()?,
+        seed: seed.as_deref().map(str::parse).transpose()?,
+        points: None,
+    };
+    let campaign = catalog::build(name, &opts)?;
+    let threads: usize = threads.as_deref().unwrap_or("0").parse()?;
+    let shard = match shard.as_deref() {
+        Some(s) => Shard::parse(s)?,
+        None => Shard::default(),
+    };
+    let store_path = store_path.unwrap_or_else(|| format!("{name}.jsonl"));
+
+    // Fail fast with named E0xx diagnostics (including the CSV collision
+    // check the runner itself cannot see).
+    let report = chebymc::lint::lint_campaign(&campaign.spec.check(
+        shard.index,
+        shard.count,
+        Some(&store_path),
+        csv.as_deref(),
+    ));
+    if report.has_errors() {
+        eprintln!("{}", report.render_human().trim_end());
+        return Err(format!(
+            "campaign failed static analysis with {} error(s)",
+            report.count(chebymc::lint::Severity::Error)
+        )
+        .into());
+    }
+
+    let (mut store, info) =
+        Store::create_or_resume(std::path::Path::new(&store_path), &campaign.spec)?;
+    if info.resumed {
+        eprintln!(
+            "exp: resuming {store_path}: {} of {} units already complete{}",
+            store.completed_count(),
+            campaign.spec.total_units(),
+            if info.truncated_bytes > 0 {
+                format!(" (recovered a torn tail of {} bytes)", info.truncated_bytes)
+            } else {
+                String::new()
+            }
+        );
+    }
+    let summary = run_campaign(
+        &campaign.spec,
+        campaign.runner.as_ref(),
+        &mut store,
+        &RunConfig {
+            threads,
+            shard,
+            progress: !quiet,
+        },
+    )?;
+    println!(
+        "campaign `{name}` (shard {shard}): ran {} units, skipped {} already-complete, \
+         store {store_path} holds {}/{} units",
+        summary.ran,
+        summary.skipped,
+        store.completed_count(),
+        summary.total_units
+    );
+    if let Some(csv_path) = csv {
+        if store.completed_count() == campaign.spec.total_units() {
+            let aggs = aggregate(&campaign.spec, store.records())?;
+            std::fs::write(&csv_path, export_points_csv(&aggs))
+                .map_err(|e| format!("cannot write `{csv_path}`: {e}"))?;
+            println!("per-point csv written to {csv_path}");
+        } else {
+            eprintln!(
+                "exp: store holds {}/{} units; run the remaining shards before \
+                 exporting (csv skipped)",
+                store.completed_count(),
+                campaign.spec.total_units()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn exp_status(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::Store;
+    let positional = parse_flags(args, &mut [])?;
+    let [path] = positional.as_slice() else {
+        return Err("exp status needs exactly one store file".into());
+    };
+    let store = Store::load(std::path::Path::new(path), None)?;
+    let spec = store.spec();
+    let points_done = (0..spec.points.len())
+        .filter(|&p| (0..spec.replicas).all(|r| store.is_complete(p * spec.replicas + r)))
+        .count();
+    println!("store       {path}");
+    println!("campaign    {} (seed {})", spec.name, spec.seed);
+    println!("fingerprint {}", store.header().fingerprint);
+    println!(
+        "axis        {} points × {} replicas = {} units",
+        spec.points.len(),
+        spec.replicas,
+        spec.total_units()
+    );
+    println!(
+        "complete    {}/{} units; {points_done}/{} points fully done",
+        store.completed_count(),
+        spec.total_units(),
+        spec.points.len()
+    );
+    Ok(())
+}
+
+fn exp_merge(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::Store;
+    let mut out = None;
+    let positional = parse_flags(args, &mut [("-o", &mut out)])?;
+    let Some(out) = out else {
+        return Err("exp merge needs -o <out.jsonl>".into());
+    };
+    if positional.is_empty() {
+        return Err("exp merge needs at least one input store".into());
+    }
+    let mut stores = Vec::new();
+    for path in &positional {
+        let expected = stores.first().map(|s: &Store| s.spec().clone());
+        stores.push(Store::load(std::path::Path::new(path), expected.as_ref())?);
+    }
+    let merged = Store::merge(&stores)?;
+    std::fs::write(&out, merged.canonical_lines())
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!(
+        "merged {} store(s) into {out}: {}/{} units",
+        positional.len(),
+        merged.completed_count(),
+        merged.spec().total_units()
+    );
+    Ok(())
+}
+
+fn exp_export_csv(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::{aggregate, export_points_csv, export_units_csv, Store};
+    let mut args = args.to_vec();
+    let per_unit = take_switch(&mut args, "--per-unit");
+    let mut out = None;
+    let positional = parse_flags(&args, &mut [("-o", &mut out)])?;
+    let [path] = positional.as_slice() else {
+        return Err("exp export-csv needs exactly one store file".into());
+    };
+    let store = Store::load(std::path::Path::new(path), None)?;
+    let csv = if per_unit {
+        export_units_csv(store.spec(), store.records())?
+    } else {
+        let aggs = aggregate(store.spec(), store.records())?;
+        export_points_csv(&aggs)
+    };
+    write_or_print(out, csv.trim_end())
 }
 
 fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

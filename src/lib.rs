@@ -14,6 +14,7 @@
 //! | [`opt`] | the genetic algorithm and grid search |
 //! | [`lint`] | static analysis: CFG structure, task-set and config diagnostics |
 //! | [`core`] | the paper's scheme: policies, metrics, batch pipelines |
+//! | [`exp`] | sharded, resumable experiment campaigns with a crash-safe store |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@
 
 pub use chebymc_core as core;
 pub use mc_exec as exec;
+pub use mc_exp as exp;
 pub use mc_lint as lint;
 pub use mc_opt as opt;
 pub use mc_sched as sched;

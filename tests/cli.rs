@@ -26,6 +26,43 @@ fn help_prints_usage() {
     assert!(text.contains("USAGE"));
     assert!(text.contains("generate"));
     assert!(text.contains("simulate"));
+    assert!(text.contains("chebymc exp run"), "help must list exp");
+}
+
+#[test]
+fn version_flag_prints_the_version() {
+    for flag in ["--version", "-V", "version"] {
+        let out = chebymc(&[flag]);
+        assert!(out.status.success(), "{flag} must succeed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            text.trim().starts_with("chebymc 0."),
+            "{flag} printed {text:?}"
+        );
+    }
+}
+
+#[test]
+fn typos_suggest_the_nearest_subcommand() {
+    let cases = [
+        ("desing", "design"),
+        ("analyse", "analyze"),
+        ("simluate", "simulate"),
+        ("exps", "exp"),
+    ];
+    for (typo, expected) in cases {
+        let out = chebymc(&[typo]);
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains(&format!("did you mean `{expected}`?")),
+            "`{typo}` should suggest `{expected}`: {err}"
+        );
+    }
+    // Nothing close → no suggestion.
+    let out = chebymc(&["frobnicate"]);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("did you mean"), "{err}");
 }
 
 #[test]
