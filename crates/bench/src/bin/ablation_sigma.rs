@@ -9,12 +9,13 @@
 //!
 //! Run: `cargo run -p chebymc-bench --release --bin ablation_sigma`
 
-use chebymc_bench::{pct, Table};
+use chebymc_bench::{pct, trace_from_env, Table};
 use mc_exp::catalog::{self, CatalogOptions};
 use mc_exp::{aggregate, run_campaign, RunConfig, Store};
 use mc_stats::chebyshev::one_sided_bound;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = trace_from_env();
     println!("Ablation — σ estimator and trace length (benchmark: corner; n = 3)\n");
     let campaign = catalog::build("ablation_sigma", &CatalogOptions::default())?;
     let mut store = Store::in_memory(&campaign.spec);

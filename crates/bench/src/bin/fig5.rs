@@ -10,11 +10,12 @@
 //!
 //! Run: `cargo run -p chebymc-bench --release --bin fig5`
 
-use chebymc_bench::{task_sets_per_point, Table};
+use chebymc_bench::{task_sets_per_point, trace_from_env, Table};
 use mc_exp::catalog::{self, CatalogOptions};
 use mc_exp::{aggregate, run_campaign, RunConfig, Store};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = trace_from_env();
     let sets = task_sets_per_point();
     let campaign = catalog::build(
         "fig5",

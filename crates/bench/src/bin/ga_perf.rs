@@ -15,6 +15,12 @@
 //! The new GA consumes RNG draws in the same order as the baseline, so
 //! all three must return bit-identical factors — the run aborts if not.
 //!
+//! After the timed (untraced) runs, one extra serial run executes with
+//! the mc-obs sink enabled to break the wall clock down by GA stage
+//! (`stage_breakdown` in the JSON). The timed numbers are never taken
+//! with tracing on. When `CHEBYMC_TRACE` is set, that breakdown run's
+//! trace is also written to the named file for `chebymc trace summary`.
+//!
 //! Run: `cargo run -p chebymc-bench --release --bin ga_perf`
 //! Output path override: `CHEBYMC_BENCH_GA_JSON=/path/to/out.json`
 
@@ -166,6 +172,19 @@ struct RunRecord {
     best_fitness: f64,
 }
 
+/// Where the wall clock goes inside one serial GA run, measured by a
+/// dedicated traced run after the timed ones.
+#[derive(Serialize)]
+struct StageBreakdown {
+    trace_events: u64,
+    ga_run_ns: u64,
+    generation_ns: u64,
+    fitness_batch_ns: u64,
+    fitness_batches: u64,
+    objective_evals: u64,
+    memo_hits: u64,
+}
+
 #[derive(Serialize)]
 struct BenchReport {
     machine_threads: usize,
@@ -178,6 +197,7 @@ struct BenchReport {
     speedup_parallel_vs_new_serial: f64,
     speedup_parallel_vs_baseline: f64,
     results_bit_identical: bool,
+    stage_breakdown: StageBreakdown,
 }
 
 fn time_best<F: FnMut() -> (GaResult, u64)>(repeats: usize, mut run: F) -> (GaResult, u64, f64) {
@@ -274,6 +294,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "GaResults diverged across implementations/thread counts"
     );
 
+    // One extra serial run with the trace sink on, after all timing, to
+    // attribute the wall clock to GA stages. CHEBYMC_TRACE redirects the
+    // raw trace to a file (still parseable here after shutdown).
+    let trace_text = {
+        let env_path = std::env::var("CHEBYMC_TRACE").ok();
+        let buf = mc_obs::SharedBuffer::new();
+        match &env_path {
+            Some(p) => mc_obs::init_file(std::path::Path::new(p))?,
+            None => mc_obs::init_writer(Box::new(buf.clone()))?,
+        }
+        let traced = optimize(&bounds, objective, &GaConfig { threads: 1, ..cfg });
+        mc_obs::shutdown()?;
+        let traced = traced?;
+        assert_eq!(traced, results[0], "traced run diverged from timed runs");
+        match &env_path {
+            Some(p) => {
+                eprintln!("(trace written to {p}; inspect with `chebymc trace summary`)");
+                std::fs::read_to_string(p)?
+            }
+            None => buf.take_string(),
+        }
+    };
+    let trace = mc_obs::summary::TraceSummary::parse(&trace_text)?;
+    let stage_breakdown = StageBreakdown {
+        trace_events: trace.events,
+        ga_run_ns: trace.span_total_ns("ga.run"),
+        generation_ns: trace.span_total_ns("ga.generation"),
+        fitness_batch_ns: trace.span_total_ns("ga.fitness_batch"),
+        fitness_batches: trace.span_count("ga.fitness_batch"),
+        objective_evals: trace.counter_total("ga.evals"),
+        memo_hits: trace.counter_total("ga.memo_hits"),
+    };
+    println!(
+        "\nstage breakdown (traced serial run): run {:.1} ms, fitness batches {} \
+         ({:.1} ms, {:.0}% of run), {} evals, {} memo hits",
+        stage_breakdown.ga_run_ns as f64 / 1e6,
+        stage_breakdown.fitness_batches,
+        stage_breakdown.fitness_batch_ns as f64 / 1e6,
+        100.0 * stage_breakdown.fitness_batch_ns as f64 / stage_breakdown.ga_run_ns.max(1) as f64,
+        stage_breakdown.objective_evals,
+        stage_breakdown.memo_hits,
+    );
+
     let wall = |name: &str| {
         runs.iter()
             .find(|r| r.name == name)
@@ -290,6 +353,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         speedup_parallel_vs_new_serial: wall("new_serial") / wall("new_parallel"),
         speedup_parallel_vs_baseline: wall("baseline_serial") / wall("new_parallel"),
         results_bit_identical: identical,
+        stage_breakdown,
         runs,
     };
 

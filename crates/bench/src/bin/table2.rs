@@ -9,11 +9,12 @@
 //!
 //! Run: `cargo run -p chebymc-bench --release --bin table2`
 
-use chebymc_bench::{pct, samples_per_benchmark, Table};
+use chebymc_bench::{pct, samples_per_benchmark, trace_from_env, Table};
 use mc_exp::catalog::{self, CatalogOptions};
 use mc_exp::{aggregate, run_campaign, RunConfig, Store};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _trace = trace_from_env();
     let samples = samples_per_benchmark();
     println!(
         "TABLE II — The effect of n on task overrunning\n\

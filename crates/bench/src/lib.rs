@@ -58,6 +58,52 @@ pub fn samples_per_benchmark() -> usize {
     scale_env("CHEBYMC_SAMPLES", 20_000)
 }
 
+/// Guard returned by [`trace_from_env`]. Dropping it finalizes the
+/// `CHEBYMC_TRACE` sink (flushing every thread's buffered events); it
+/// does nothing when the variable was unset.
+#[derive(Debug)]
+pub struct TraceGuard {
+    path: Option<String>,
+}
+
+impl TraceGuard {
+    /// The trace file path, when `CHEBYMC_TRACE` was set.
+    #[must_use]
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            match mc_obs::shutdown() {
+                Ok(()) => {
+                    eprintln!("(trace written to {path}; inspect with `chebymc trace summary`)");
+                }
+                Err(e) => eprintln!("error: could not finalize trace {path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Honours the `CHEBYMC_TRACE` environment variable: when set, installs
+/// the process-wide mc-obs JSONL sink at that path for the lifetime of
+/// the returned guard. Exits with status 2 when the sink cannot be
+/// created — an explicitly requested trace that silently fails would
+/// leave a long experiment with no artefact.
+#[must_use]
+pub fn trace_from_env() -> TraceGuard {
+    let Ok(path) = std::env::var("CHEBYMC_TRACE") else {
+        return TraceGuard { path: None };
+    };
+    if let Err(e) = mc_obs::init_file(std::path::Path::new(&path)) {
+        eprintln!("error: could not create CHEBYMC_TRACE file {path:?}: {e}");
+        std::process::exit(2);
+    }
+    TraceGuard { path: Some(path) }
+}
+
 /// A simple aligned text table with an optional CSV mirror.
 #[derive(Debug, Clone, Default)]
 pub struct Table {

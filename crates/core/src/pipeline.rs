@@ -125,8 +125,15 @@ pub fn evaluate_policy_one_set(
     inner_threads: usize,
 ) -> Result<SetEvaluation, CoreError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut ts = generate_hc_taskset(u, generator, &mut rng).map_err(CoreError::Task)?;
-    reseed(policy, seed, inner_threads).assign(&mut ts)?;
+    let mut ts = {
+        let _span = mc_obs::span("pipeline.generate");
+        generate_hc_taskset(u, generator, &mut rng).map_err(CoreError::Task)?
+    };
+    {
+        let _span = mc_obs::span("pipeline.assign");
+        reseed(policy, seed, inner_threads).assign(&mut ts)?;
+    }
+    let _span = mc_obs::span("pipeline.metrics");
     let m = design_metrics(&ts)?;
     Ok(SetEvaluation {
         p_ms: m.p_ms,
@@ -221,6 +228,7 @@ pub fn evaluate_policy_over_utilization(
     let (pool, inner_threads) = batch.make_pool();
     let mut out = Vec::with_capacity(u_values.len());
     for (pi, &u) in u_values.iter().enumerate() {
+        let _point_span = mc_obs::span("pipeline.point");
         let per_set = map_sets(&pool, batch.task_sets, |si| {
             evaluate_policy_one_set(
                 u,
@@ -304,12 +312,19 @@ pub fn acceptance_ratio(
     let (pool, inner_threads) = batch.make_pool();
     let mut out = Vec::with_capacity(u_bounds.len());
     for (pi, &u) in u_bounds.iter().enumerate() {
+        let _point_span = mc_obs::span("pipeline.point");
         let verdicts = map_sets(&pool, batch.task_sets, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ts =
-                generate_mixed_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?;
-            reseed(policy, seed, inner_threads).assign(&mut ts)?;
+            let mut ts = {
+                let _span = mc_obs::span("pipeline.generate");
+                generate_mixed_taskset(u, &batch.generator, &mut rng).map_err(CoreError::Task)?
+            };
+            {
+                let _span = mc_obs::span("pipeline.assign");
+                reseed(policy, seed, inner_threads).assign(&mut ts)?;
+            }
+            let _span = mc_obs::span("pipeline.sched_test");
             Ok(approach.schedulable(&ts))
         })?;
         let accepted = verdicts.iter().filter(|&&ok| ok).count();
@@ -351,14 +366,20 @@ pub fn acceptance_ratio_lo_bounded(
     let (pool, inner_threads) = batch.make_pool();
     let mut out = Vec::with_capacity(u_bounds.len());
     for (pi, &u) in u_bounds.iter().enumerate() {
+        let _point_span = mc_obs::span("pipeline.point");
         let verdicts = map_sets(&pool, batch.task_sets, |si| {
             let seed = batch.set_seed(pi, si);
             let mut rng = StdRng::seed_from_u64(seed);
-            let mut ts = generate_lo_bounded_taskset(u, lambda_range, &batch.generator, &mut rng)
-                .map_err(CoreError::Task)?;
+            let mut ts = {
+                let _span = mc_obs::span("pipeline.generate");
+                generate_lo_bounded_taskset(u, lambda_range, &batch.generator, &mut rng)
+                    .map_err(CoreError::Task)?
+            };
             if let Some(policy) = scheme {
+                let _span = mc_obs::span("pipeline.assign");
                 reseed(policy, seed, inner_threads).assign(&mut ts)?;
             }
+            let _span = mc_obs::span("pipeline.sched_test");
             Ok(approach.schedulable(&ts))
         })?;
         let accepted = verdicts.iter().filter(|&&ok| ok).count();

@@ -86,11 +86,23 @@ impl Progress {
         if !self.enabled {
             return;
         }
+        eprintln!("{}", self.finish_line(store_completed));
+    }
+
+    /// The final summary line. A resume session with nothing pending gets
+    /// its own wording — "0/0 pending units in 0.0s" reads like a failure.
+    fn finish_line(&self, store_completed: usize) -> String {
+        if self.session_total == 0 {
+            return format!(
+                "exp: nothing pending for this shard; store already holds {store_completed}/{} units",
+                self.campaign_total,
+            );
+        }
         let elapsed = Instant::now().duration_since(self.start).as_secs_f64();
-        eprintln!(
+        format!(
             "exp: session ran {}/{} pending units in {elapsed:.1}s; store holds {store_completed}/{} units",
             self.session_done, self.session_total, self.campaign_total,
-        );
+        )
     }
 }
 
@@ -116,6 +128,32 @@ mod tests {
         assert!(first.is_some(), "first unit emits immediately");
         p.unit_done(2, 0);
         assert_eq!(p.last_emit, first, "second unit within 1s is suppressed");
+    }
+
+    #[test]
+    fn zero_pending_session_reports_an_up_to_date_store() {
+        // A fully-resumed shard: the campaign holds 10 units, all already
+        // persisted, so this session had nothing to do.
+        let p = Progress::new(true, 10, 2, 0);
+        let line = p.finish_line(10);
+        assert_eq!(
+            line,
+            "exp: nothing pending for this shard; store already holds 10/10 units"
+        );
+        assert!(!line.contains("0/0"), "no meaningless 0/0 counter: {line}");
+    }
+
+    #[test]
+    fn non_empty_session_keeps_the_rate_summary() {
+        let mut p = Progress::new(true, 10, 2, 4);
+        for i in 0..4 {
+            p.unit_done(i + 1, 0);
+        }
+        let line = p.finish_line(4);
+        assert!(
+            line.contains("session ran 4/4 pending units"),
+            "unexpected summary: {line}"
+        );
     }
 
     #[test]

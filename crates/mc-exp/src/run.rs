@@ -177,6 +177,7 @@ pub fn run_campaign(
     store: &mut Store,
     cfg: &RunConfig,
 ) -> Result<RunSummary, ExpError> {
+    let _session_span = mc_obs::span("exp.session");
     let start = Instant::now();
     let store_path = store.path().map(|p| p.display().to_string());
     let report = mc_lint::lint_campaign(&spec.check(
@@ -218,6 +219,7 @@ pub fn run_campaign(
 
     pool.for_each_while(session.len(), |pos| {
         let unit = session[pos];
+        let _unit_span = mc_obs::span("exp.unit");
         match runner.run_unit(&unit, inner_threads) {
             Ok(metrics) => {
                 let record = UnitRecord {

@@ -260,6 +260,7 @@ impl Store {
     ///
     /// Duplicate or out-of-contract records, and I/O failures.
     pub fn append(&mut self, record: UnitRecord) -> Result<(), ExpError> {
+        let _append_span = mc_obs::span("store.append");
         let display = self
             .path
             .as_ref()
@@ -279,7 +280,20 @@ impl Store {
             line.push('\n');
             file.write_all(line.as_bytes())
                 .map_err(|e| io_err(path, e))?;
-            file.sync_data().map_err(|e| io_err(path, e))?;
+            {
+                // fsync dominates append cost on real disks; give it its
+                // own span (and latency histogram) so `trace summary`
+                // separates storage stalls from compute.
+                let _fsync_span = mc_obs::span("store.fsync");
+                let t0 = mc_obs::is_enabled().then(mc_obs::now_ns);
+                file.sync_data().map_err(|e| io_err(path, e))?;
+                if let Some(t0) = t0 {
+                    mc_obs::record_f64(
+                        "store.fsync_ns",
+                        mc_obs::now_ns().saturating_sub(t0) as f64,
+                    );
+                }
+            }
         }
         self.completed.insert(record.unit);
         self.records.push(record);

@@ -214,6 +214,7 @@ where
     if bounds.is_empty() {
         return Err(OptError::EmptyChromosome);
     }
+    let _run_span = mc_obs::span("ga.run");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let genes = bounds.len();
     let pop_n = cfg.population_size;
@@ -244,6 +245,7 @@ where
     let mut history = Vec::with_capacity(cfg.generations);
 
     for generation in 0..cfg.generations {
+        let _gen_span = mc_obs::span("ga.generation");
         // Track statistics and the all-time best.
         let mut gen_best = f64::NEG_INFINITY;
         let mut sum = 0.0;
@@ -260,6 +262,10 @@ where
             best: gen_best,
             mean: sum / pop_n as f64,
         });
+        // Stream the per-generation stats we already computed into the
+        // trace, so convergence is visible without post-processing history.
+        mc_obs::value("ga.gen_best", gen_best);
+        mc_obs::value("ga.gen_mean", sum / pop_n as f64);
 
         // Elitism: carry the top individuals over unchanged, scores
         // included. `select_nth_unstable_by` partitions the top `elitism`
@@ -269,12 +275,11 @@ where
         let elites = cfg.elitism;
         order.clear();
         order.extend(0..pop_n);
-        let by_score_desc = |&a: &usize, &b: &usize| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("scores are sanitized, never NaN")
-                .then(a.cmp(&b))
-        };
+        // `total_cmp` keeps the ordering well-defined even for NaN: the
+        // sanitize pass makes NaN unreachable today, but an ordering that
+        // can panic is the wrong place to rely on that invariant.
+        let by_score_desc =
+            |&a: &usize, &b: &usize| scores[b].total_cmp(&scores[a]).then(a.cmp(&b));
         if elites > 0 {
             if elites < pop_n {
                 order.select_nth_unstable_by(elites - 1, by_score_desc);
@@ -540,6 +545,7 @@ impl Evaluator {
     ) where
         F: Fn(&[f64]) -> f64 + Sync,
     {
+        let _batch_span = mc_obs::span("ga.fitness_batch");
         self.pending.clear();
         self.pending_hashes.clear();
         self.dups.clear();
@@ -556,6 +562,14 @@ impl Evaluator {
                 self.pending_hashes.push(hash);
                 self.pending.push(i);
             }
+        }
+        if mc_obs::is_enabled() {
+            let considered = (scores.len() - skip) as u64;
+            let misses = self.pending.len() as u64;
+            let dups = self.dups.len() as u64;
+            mc_obs::counter("ga.evals", misses);
+            mc_obs::counter("ga.memo_hits", considered - misses - dups);
+            mc_obs::counter("ga.batch_dups", dups);
         }
         self.pending_scores.resize(self.pending.len(), 0.0);
         let pending = &self.pending;
@@ -747,6 +761,25 @@ mod tests {
         for g in &r.history {
             assert!(g.best >= prev - 1e-12, "generation {}", g.generation);
             prev = g.best;
+        }
+    }
+
+    #[test]
+    fn every_genome_non_finite_still_completes() {
+        // Regression: with *every* objective value non-finite the elitism
+        // ordering must stay total (no partial_cmp panic) and the run must
+        // finish with the sentinel best rather than aborting.
+        let bounds = [GeneBounds::new(0.0, 1.0).unwrap(); 2];
+        let cfg = GaConfig {
+            generations: 5,
+            population_size: 16,
+            elitism: 4,
+            ..GaConfig::default()
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let r = optimize(&bounds, |_| bad, &cfg).unwrap();
+            assert_eq!(r.best_fitness, f64::NEG_INFINITY, "objective {bad}");
+            assert!(r.history.iter().all(|g| g.best == f64::NEG_INFINITY));
         }
     }
 

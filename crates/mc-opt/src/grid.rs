@@ -74,18 +74,27 @@ pub fn uniform_sweep_with_pool(
 ///
 /// # Errors
 ///
-/// Same conditions as [`uniform_sweep`].
+/// Same conditions as [`uniform_sweep`], plus [`OptError::InvalidConfig`]
+/// if the sweep comes back empty.
 pub fn best_uniform(problem: &WcetProblem, ns: &[f64]) -> Result<SweepPoint, OptError> {
     let sweep = uniform_sweep(problem, ns)?;
-    Ok(sweep
+    // `total_cmp` never panics, and demoting NaN to -inf first keeps a
+    // pathological objective from *winning* the argmax (total order puts
+    // positive NaN above +inf): bad points lose, the campaign survives.
+    let key = |p: &SweepPoint| {
+        let f = p.objective.fitness;
+        if f.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            f
+        }
+    };
+    sweep
         .into_iter()
-        .max_by(|a, b| {
-            a.objective
-                .fitness
-                .partial_cmp(&b.objective.fitness)
-                .expect("fitness is always finite")
+        .max_by(|a, b| key(a).total_cmp(&key(b)))
+        .ok_or(OptError::InvalidConfig {
+            reason: "uniform sweep produced no points",
         })
-        .expect("sweep is non-empty"))
 }
 
 /// Integer sweep `0..=max_n`, the grid the paper plots.
@@ -208,6 +217,12 @@ mod tests {
         assert!(uniform_sweep(&p, &[]).is_err());
         assert!(uniform_sweep(&p, &[-1.0]).is_err());
         assert!(uniform_sweep(&p, &[f64::NAN]).is_err());
+        // best_uniform surfaces the same errors instead of panicking on
+        // an empty sweep.
+        assert!(matches!(
+            best_uniform(&p, &[]),
+            Err(OptError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -162,14 +162,23 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Claims chunks of `0..count` off the shared cursor and applies `f`.
+///
+/// When tracing is on, each claimed chunk's latency lands in the
+/// `par.chunk_ns` histogram (per-thread buffers, so workers never contend
+/// recording it). The enabled check is hoisted out of the claim loop.
 fn drain(f: &(dyn Fn(usize) + Sync), count: usize, chunk: usize, cursor: &AtomicUsize) {
+    let traced = mc_obs::is_enabled();
     loop {
         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
         if start >= count {
             return;
         }
+        let t0 = if traced { mc_obs::now_ns() } else { 0 };
         for i in start..(start + chunk).min(count) {
             f(i);
+        }
+        if traced {
+            mc_obs::record_f64("par.chunk_ns", mc_obs::now_ns().saturating_sub(t0) as f64);
         }
     }
 }
@@ -303,6 +312,13 @@ impl WorkerPool {
     fn for_each_dyn(&self, count: usize, f: &(dyn Fn(usize) + Sync)) {
         if count == 0 {
             return;
+        }
+        let _span = mc_obs::span("par.dispatch");
+        if mc_obs::is_enabled() {
+            // "Queue depth" for a cursor-fed pool is the number of indices
+            // published per dispatch: how much work the wake fans out over.
+            mc_obs::counter("par.indices", count as u64);
+            mc_obs::record_f64("par.queue_depth", count as f64);
         }
         if self.handles.is_empty() || count == 1 {
             for i in 0..count {

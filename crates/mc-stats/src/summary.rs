@@ -139,6 +139,10 @@ pub struct OnlineSummary {
     m2: f64,
     min: f64,
     max: f64,
+    /// Non-finite samples discarded by [`Extend`]; deserialises to 0 for
+    /// accumulators persisted before the field existed.
+    #[serde(default)]
+    skipped: u64,
 }
 
 impl OnlineSummary {
@@ -150,12 +154,24 @@ impl OnlineSummary {
             m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            skipped: 0,
         }
     }
 
     /// Number of samples pushed so far.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of non-finite samples the [`Extend`] impl discarded.
+    ///
+    /// [`Summary::from_samples`] *errors* on the first non-finite sample,
+    /// so an accumulator with `skipped > 0` has silently diverged from
+    /// the batch path; callers that tolerate the divergence should check
+    /// this before [`finish`](Self::finish) (which debug-asserts it is
+    /// zero).
+    pub fn skipped(&self) -> u64 {
+        self.skipped
     }
 
     /// Adds one sample.
@@ -177,13 +193,17 @@ impl OnlineSummary {
     }
 
     /// Merges another accumulator into this one (parallel Welford), so that
-    /// traces can be summarised in chunks.
+    /// traces can be summarised in chunks. Skipped-sample counts add up
+    /// across every path, including merges with empty chunks.
     pub fn merge(&mut self, other: &OnlineSummary) {
+        self.skipped += other.skipped;
         if other.count == 0 {
             return;
         }
         if self.count == 0 {
+            let skipped = self.skipped;
             *self = *other;
+            self.skipped = skipped;
             return;
         }
         let n1 = self.count as f64;
@@ -208,10 +228,25 @@ impl OnlineSummary {
 
     /// Finalises the accumulator into an immutable [`Summary`].
     ///
+    /// Debug builds assert that no samples were silently [`skipped`]
+    /// (`skipped()` = 0): a finished summary is supposed to agree with
+    /// [`Summary::from_samples`] on the same stream, and from_samples
+    /// would have errored instead of skipping. Callers that intend to
+    /// drop non-finite samples should inspect [`skipped`] and filter
+    /// explicitly.
+    ///
+    /// [`skipped`]: Self::skipped
+    ///
     /// # Errors
     ///
     /// Returns [`StatsError::EmptySamples`] when no sample was pushed.
     pub fn finish(&self) -> Result<Summary> {
+        debug_assert_eq!(
+            self.skipped, 0,
+            "OnlineSummary::finish after Extend silently discarded {} non-finite sample(s); \
+             this diverges from Summary::from_samples, which errors",
+            self.skipped
+        );
         if self.count == 0 {
             return Err(StatsError::EmptySamples);
         }
@@ -226,13 +261,18 @@ impl OnlineSummary {
 }
 
 impl Extend<f64> for OnlineSummary {
-    /// Pushes each sample, silently skipping non-finite values.
+    /// Pushes each sample, skipping non-finite values. Every skip is
+    /// tallied in [`OnlineSummary::skipped`] — the count diverges the
+    /// accumulator from [`Summary::from_samples`] (which errors), and
+    /// [`OnlineSummary::finish`] debug-asserts it is zero.
     ///
     /// Use [`OnlineSummary::push`] directly when non-finite samples must be
     /// treated as errors.
     fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
         for s in iter {
-            let _ = self.push(s);
+            if self.push(s).is_err() {
+                self.skipped += 1;
+            }
         }
     }
 }
@@ -350,12 +390,44 @@ mod tests {
     }
 
     #[test]
-    fn extend_skips_non_finite() {
+    fn extend_counts_every_skipped_non_finite_sample() {
+        let mut acc = OnlineSummary::new();
+        acc.extend([1.0, f64::NAN, 3.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(acc.count(), 2, "finite samples accumulate");
+        assert_eq!(acc.skipped(), 3, "every discard is tallied");
+        assert!((acc.mean() - 2.0).abs() < 1e-12);
+        // The divergence from the batch path: from_samples refuses the
+        // same stream outright instead of silently dropping values.
+        assert!(matches!(
+            Summary::from_samples(&[1.0, f64::NAN, 3.0]).unwrap_err(),
+            StatsError::NonFinite { what: "sample", value } if value.is_nan()
+        ));
+    }
+
+    #[test]
+    fn merge_accumulates_skip_counts_through_every_path() {
+        let mut tainted = OnlineSummary::new();
+        tainted.extend([f64::NAN]); // count 0, skipped 1
+        let mut empty = OnlineSummary::new();
+        empty.merge(&tainted); // self empty: adopt other
+        assert_eq!(empty.skipped(), 1);
+        let mut full = OnlineSummary::new();
+        full.extend([1.0, 2.0]);
+        full.merge(&tainted); // other has count 0: early return
+        assert_eq!(full.skipped(), 1);
+        full.merge(&empty); // both non-trivial paths combined
+        assert_eq!(full.skipped(), 2);
+        assert_eq!(full.count(), 2);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "silently discarded"))]
+    fn finish_debug_asserts_no_silent_skips() {
         let mut acc = OnlineSummary::new();
         acc.extend([1.0, f64::NAN, 3.0]);
-        let s = acc.finish().unwrap();
-        assert_eq!(s.count(), 2);
-        assert!((s.mean() - 2.0).abs() < 1e-12);
+        // Release builds tolerate the divergence (debug_assert compiles
+        // out), so the should_panic expectation is debug-only too.
+        let _ = acc.finish();
     }
 
     mod properties {
@@ -393,6 +465,38 @@ mod tests {
                 prop_assert_eq!(merged.count(), direct.count());
                 prop_assert!((merged.mean() - direct.mean()).abs() < 1e-6);
                 prop_assert!((merged.variance() - direct.variance()).abs() < 1e-4);
+            }
+
+            #[test]
+            fn merge_over_arbitrary_chunkings_matches_from_samples(
+                // Chunks of 0..=10 samples each: empty and single-sample
+                // chunks are deliberately in range, so the merge identity
+                // and adopt-other fast paths are both exercised.
+                chunks in proptest::collection::vec(
+                    proptest::collection::vec(-1.0e3..1.0e3f64, 0..11),
+                    1..12,
+                ),
+            ) {
+                let concat: Vec<f64> = chunks.iter().flatten().copied().collect();
+                prop_assume!(!concat.is_empty());
+                let mut acc = OnlineSummary::new();
+                for chunk in &chunks {
+                    let mut part = OnlineSummary::new();
+                    part.extend(chunk.iter().copied());
+                    acc.merge(&part);
+                }
+                let merged = acc.finish().unwrap();
+                let direct = Summary::from_samples(&concat).unwrap();
+                // 1e-12 relative: both sides are Welford-stable, so the
+                // chunking must not cost more than rounding noise.
+                let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1.0);
+                prop_assert_eq!(merged.count(), direct.count());
+                prop_assert!(close(merged.mean(), direct.mean()),
+                    "mean {} vs {}", merged.mean(), direct.mean());
+                prop_assert!(close(merged.variance(), direct.variance()),
+                    "variance {} vs {}", merged.variance(), direct.variance());
+                prop_assert_eq!(merged.min(), direct.min());
+                prop_assert_eq!(merged.max(), direct.max());
             }
 
             #[test]

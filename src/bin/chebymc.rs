@@ -55,12 +55,15 @@ USAGE:
 
   chebymc exp run <campaign> [--store <file.jsonl>] [--sets <n>]
                   [--samples <n>] [--seed <n>] [--threads <n>]
-                  [--shard <i/n>] [--csv <file.csv>] [--quiet]
+                  [--shard <i/n>] [--csv <file.csv>] [--trace <file.jsonl>]
+                  [--quiet]
       Run (or resume) a campaign against a crash-safe JSONL result
       store: completed units are skipped on restart, shards split the
       units across processes, and every record is fsync'd before it
       counts. `--csv` exports the per-point means once the campaign is
-      complete.
+      complete. `--trace` records an observability trace (spans,
+      counters, histograms) of the run to a JSONL file; inspect it with
+      `chebymc trace summary`.
 
   chebymc exp status <store.jsonl>
       Describe a result store: campaign, fingerprint, completed units.
@@ -71,6 +74,11 @@ USAGE:
 
   chebymc exp export-csv <store.jsonl> [-o <file.csv>] [--per-unit]
       Export per-point means (or raw per-unit rows) as CSV.
+
+  chebymc trace summary <trace.jsonl>
+      Summarize an observability trace produced by `exp run --trace`
+      (or CHEBYMC_TRACE with the bench binaries): per-span durations,
+      counters, tracked values, and latency histogram quantiles.
 
   chebymc --version
       Print the version.
@@ -104,6 +112,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "wcet" => cmd_wcet(rest),
         "lint" => cmd_lint(rest),
         "exp" => cmd_exp(rest),
+        "trace" => cmd_trace(rest),
         "version" | "--version" | "-V" => {
             println!("chebymc {}", env!("CARGO_PKG_VERSION"));
             Ok(())
@@ -123,7 +132,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 /// The dispatchable subcommand names, for typo suggestions.
 const SUBCOMMANDS: &[&str] = &[
-    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "help", "version",
+    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "trace", "help", "version",
 ];
 
 /// Suggests the nearest valid subcommand when the typo is close enough
@@ -430,6 +439,30 @@ fn cmd_exp(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(sub) = args.first() else {
+        return Err("trace needs a subcommand: summary".into());
+    };
+    match sub.as_str() {
+        "summary" => trace_summary(&args[1..]),
+        other => Err(format!("unknown trace subcommand `{other}` (expected summary)").into()),
+    }
+}
+
+fn trace_summary(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::obs::summary::TraceSummary;
+    let positional = parse_flags(args, &mut [])?;
+    let [path] = positional.as_slice() else {
+        return Err("trace summary needs exactly one trace file".into());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+    let summary = TraceSummary::parse(&text)
+        .map_err(|e| format!("`{path}` is not a valid chebymc trace: {e}"))?;
+    print!("{}", summary.render());
+    Ok(())
+}
+
 /// Removes a boolean `--flag` from `args`, reporting whether it was there.
 fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
     let before = args.len();
@@ -459,6 +492,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let quiet = take_switch(&mut args, "--quiet");
     let (mut store_path, mut sets, mut samples, mut seed, mut threads, mut shard, mut csv) =
         (None, None, None, None, None, None, None);
+    let mut trace = None;
     let positional = parse_flags(
         &args,
         &mut [
@@ -469,6 +503,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             ("--threads", &mut threads),
             ("--shard", &mut shard),
             ("--csv", &mut csv),
+            ("--trace", &mut trace),
         ],
     )?;
     let [name] = positional.as_slice() else {
@@ -519,7 +554,11 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         );
     }
-    let summary = run_campaign(
+    if let Some(trace_path) = trace.as_deref() {
+        chebymc::obs::init_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("cannot open trace file `{trace_path}`: {e}"))?;
+    }
+    let result = run_campaign(
         &campaign.spec,
         campaign.runner.as_ref(),
         &mut store,
@@ -528,7 +567,19 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             shard,
             progress: !quiet,
         },
-    )?;
+    );
+    if trace.is_some() {
+        // Finalize the trace even when the run failed, but never let a
+        // trace-flush error mask the run's own error.
+        let flushed = chebymc::obs::shutdown();
+        if result.is_ok() {
+            flushed.map_err(|e| format!("cannot finalize trace: {e}"))?;
+        }
+    }
+    let summary = result?;
+    if let Some(trace_path) = trace.as_deref() {
+        eprintln!("exp: trace written to {trace_path} (inspect with `chebymc trace summary`)");
+    }
     println!(
         "campaign `{name}` (shard {shard}): ran {} units, skipped {} already-complete, \
          store {store_path} holds {}/{} units",

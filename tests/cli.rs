@@ -211,6 +211,77 @@ fn design_handles_lc_only_workloads() {
 }
 
 #[test]
+fn exp_run_trace_and_trace_summary_round_trip() {
+    let store = tmp("trace-store.jsonl");
+    let trace = tmp("trace-out.jsonl");
+    for p in [&store, &trace] {
+        let _ = std::fs::remove_file(p);
+    }
+    let out = chebymc(&[
+        "exp",
+        "run",
+        "fig5",
+        "--sets",
+        "1",
+        "--threads",
+        "1",
+        "--quiet",
+        "--store",
+        store.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("trace written to"),
+        "stderr should point at the trace file"
+    );
+
+    // Every trace line is an object with a known kind, led by the meta
+    // header.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.lines().next().unwrap().contains("\"k\":\"meta\""));
+    assert!(text.lines().count() > 1, "trace must hold events");
+
+    let out = chebymc(&["trace", "summary", trace.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rendered = String::from_utf8_lossy(&out.stdout);
+    assert!(rendered.contains("schema 1"), "{rendered}");
+    assert!(rendered.contains("exp.unit"), "{rendered}");
+    assert!(rendered.contains("store.fsync"), "{rendered}");
+
+    for p in [&store, &trace] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn trace_summary_rejects_garbage() {
+    let out = chebymc(&["trace", "summary", "/nonexistent/missing.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let bad = tmp("not-a-trace.jsonl");
+    std::fs::write(&bad, "{\"hello\": 1}\n").unwrap();
+    let out = chebymc(&["trace", "summary", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a valid chebymc trace"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&bad);
+}
+
+#[test]
 fn simulate_rejects_bad_flags() {
     let raw = tmp("badflags.json");
     let out = chebymc(&["generate", "-o", raw.to_str().unwrap()]);
