@@ -20,6 +20,10 @@
 //!   with a [`mc_par::ThreadBudget`] split between units and inner GA
 //!   parallelism, and flushes records to the store *in session order* so
 //!   an uninterrupted store is byte-identical across thread counts.
+//! * [`fault`] — deterministic crash-schedule sweeps: the store driven
+//!   through seed-derived crash/resume/merge interleavings on a simulated
+//!   disk (`mc_fault::SimDisk`), asserting the crash invariant and
+//!   canonical byte identity (`chebymc fault sweep`).
 //! * [`progress`] — the throttled stderr progress/ETA reporter.
 //! * [`aggregate`] — per-point means (in replica order, preserving the
 //!   legacy f64 summation order) and CSV export.
@@ -30,6 +34,7 @@
 
 pub mod aggregate;
 pub mod catalog;
+pub mod fault;
 pub mod progress;
 pub mod run;
 pub mod spec;
@@ -37,6 +42,7 @@ pub mod store;
 
 pub use aggregate::{aggregate, export_points_csv, export_units_csv, PointAggregate};
 pub use catalog::{Campaign, CatalogOptions};
+pub use fault::{sweep, Sabotage, SweepConfig, SweepReport, Violation};
 pub use run::{run_campaign, RunConfig, RunSummary, Shard, UnitRunner};
 pub use spec::{unit_seed, CampaignSpec, Param, PointSpec, WorkUnit};
 pub use store::{Metric, Store, StoreHeader, UnitRecord, SCHEMA_VERSION};
@@ -132,6 +138,15 @@ impl From<mc_lint::LintReport> for ExpError {
 pub(crate) fn io_err(path: &std::path::Path, source: std::io::Error) -> ExpError {
     ExpError::Io {
         path: path.display().to_string(),
+        source,
+    }
+}
+
+/// Wraps an I/O error with a display label (for stores that are not
+/// backed by a filesystem path, e.g. simulated disks).
+pub(crate) fn label_io_err(label: &str, source: std::io::Error) -> ExpError {
+    ExpError::Io {
+        path: label.to_string(),
         source,
     }
 }

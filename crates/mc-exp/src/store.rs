@@ -23,11 +23,11 @@
 //! history.
 
 use crate::spec::{unit_seed, CampaignSpec};
-use crate::{io_err, ExpError};
+use crate::{io_err, label_io_err, ExpError};
+use mc_fault::{RealFile, StoreIo};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 
 /// Version of the store's on-disk schema. Bumped on any incompatible
@@ -94,13 +94,18 @@ pub struct ResumeInfo {
 }
 
 /// An experiment result store: an in-memory replay of its records plus,
-/// for on-disk stores, an append handle that fsyncs every record.
+/// for persistent stores, a [`StoreIo`] append handle that fsyncs every
+/// record. The handle is a real file for on-disk stores and a simulated
+/// disk under fault injection (see `mc_fault::SimDisk`).
 #[derive(Debug)]
 pub struct Store {
     header: StoreHeader,
     records: Vec<UnitRecord>,
     completed: HashSet<usize>,
-    file: Option<File>,
+    io: Option<Box<dyn StoreIo>>,
+    /// Display name for error messages: the path for on-disk stores,
+    /// `<memory>` or a caller-chosen label otherwise.
+    label: String,
     path: Option<PathBuf>,
 }
 
@@ -117,7 +122,8 @@ impl Store {
             },
             records: Vec::new(),
             completed: HashSet::new(),
-            file: None,
+            io: None,
+            label: "<memory>".to_string(),
             path: None,
         }
     }
@@ -137,27 +143,50 @@ impl Store {
         path: &Path,
         spec: &CampaignSpec,
     ) -> Result<(Self, ResumeInfo), ExpError> {
-        let mut store = Store::in_memory(spec);
-        let mut info = ResumeInfo::default();
-
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)
             .map_err(|e| io_err(path, e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
+        let label = path.display().to_string();
+        let (mut store, info) =
+            Store::create_or_resume_io(Box::new(RealFile::new(file)), &label, spec)?;
+        store.path = Some(path.to_path_buf());
+        Ok((store, info))
+    }
 
-        let parsed = parse_store_bytes(&bytes, spec, &path.display().to_string())?;
+    /// [`Store::create_or_resume`] over any [`StoreIo`] handle — the
+    /// production path goes through a [`RealFile`]; the fault-injection
+    /// sweeps hand in a simulated disk. `label` names the store in error
+    /// messages.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (real or injected), interior corruption, or a header
+    /// from a different campaign.
+    pub fn create_or_resume_io(
+        mut io: Box<dyn StoreIo>,
+        label: &str,
+        spec: &CampaignSpec,
+    ) -> Result<(Self, ResumeInfo), ExpError> {
+        let mut store = Store::in_memory(spec);
+        store.label = label.to_string();
+        let mut info = ResumeInfo::default();
+
+        let mut bytes = Vec::new();
+        io.read_to_end(&mut bytes)
+            .map_err(|e| label_io_err(label, e))?;
+
+        let parsed = parse_store_bytes(&bytes, spec, label)?;
         match parsed {
             Parsed::Fresh => {
                 // Missing header (empty file or torn header line): start
-                // clean.
-                file.set_len(0).map_err(|e| io_err(path, e))?;
-                file.seek(SeekFrom::Start(0)).map_err(|e| io_err(path, e))?;
-                write_line(&mut file, path, &store.header)?;
+                // clean. `truncate` leaves the cursor at the new end (0),
+                // so the header lands at the start of the file.
+                io.truncate(0).map_err(|e| label_io_err(label, e))?;
+                write_line(io.as_mut(), label, &store.header)?;
                 info.truncated_bytes = bytes.len() as u64;
             }
             Parsed::Replayed { records, good_len } => {
@@ -165,18 +194,20 @@ impl Store {
                 info.replayed = records.len();
                 info.truncated_bytes = (bytes.len() - good_len) as u64;
                 if good_len < bytes.len() {
-                    file.set_len(good_len as u64).map_err(|e| io_err(path, e))?;
-                    file.sync_data().map_err(|e| io_err(path, e))?;
+                    io.truncate(good_len as u64)
+                        .map_err(|e| label_io_err(label, e))?;
+                    io.sync_data().map_err(|e| label_io_err(label, e))?;
                 }
-                file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, e))?;
+                // Cursor is at end-of-file here by the StoreIo contract
+                // (after read_to_end or truncate), so appends continue
+                // where the valid content stops.
                 for r in records {
                     store.completed.insert(r.unit);
                     store.records.push(r);
                 }
             }
         }
-        store.file = Some(file);
-        store.path = Some(path.to_path_buf());
+        store.io = Some(io);
         Ok((store, info))
     }
 
@@ -190,10 +221,7 @@ impl Store {
     /// campaign mismatch.
     pub fn load(path: &Path, expected: Option<&CampaignSpec>) -> Result<Self, ExpError> {
         let display = path.display().to_string();
-        let mut bytes = Vec::new();
-        File::open(path)
-            .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(|e| io_err(path, e))?;
+        let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
         let (header, rest) = parse_header(&bytes, &display)?.ok_or_else(|| ExpError::Store {
             path: display.clone(),
             detail: "missing or torn header line".into(),
@@ -201,12 +229,13 @@ impl Store {
         // With no expected spec, check the header against its own embedded
         // spec — schema version and self-consistent fingerprint still hold.
         check_header(&header, expected.unwrap_or(&header.spec), &display)?;
-        let records = parse_records(rest, &header.spec, &display)?.0;
+        let records = parse_records(rest, &header.spec, &display, bytes.len() - rest.len())?.0;
         let mut store = Store {
             header,
             records: Vec::new(),
             completed: HashSet::new(),
-            file: None,
+            io: None,
+            label: display,
             path: Some(path.to_path_buf()),
         };
         for r in records {
@@ -261,10 +290,7 @@ impl Store {
     /// Duplicate or out-of-contract records, and I/O failures.
     pub fn append(&mut self, record: UnitRecord) -> Result<(), ExpError> {
         let _append_span = mc_obs::span("store.append");
-        let display = self
-            .path
-            .as_ref()
-            .map_or_else(|| "<memory>".to_string(), |p| p.display().to_string());
+        let display = self.label.clone();
         validate_record(&record, &self.header.spec, &display)?;
         if self.completed.contains(&record.unit) {
             return Err(ExpError::Store {
@@ -272,21 +298,21 @@ impl Store {
                 detail: format!("duplicate record for unit {}", record.unit),
             });
         }
-        if let (Some(file), Some(path)) = (self.file.as_mut(), self.path.as_ref()) {
+        if let Some(io) = self.io.as_mut() {
             let mut line = serde_json::to_string(&record).map_err(|e| ExpError::Store {
                 path: display.clone(),
                 detail: format!("record serialization failed: {e}"),
             })?;
             line.push('\n');
-            file.write_all(line.as_bytes())
-                .map_err(|e| io_err(path, e))?;
+            io.write_all(line.as_bytes())
+                .map_err(|e| label_io_err(&display, e))?;
             {
                 // fsync dominates append cost on real disks; give it its
                 // own span (and latency histogram) so `trace summary`
                 // separates storage stalls from compute.
                 let _fsync_span = mc_obs::span("store.fsync");
                 let t0 = mc_obs::is_enabled().then(mc_obs::now_ns);
-                file.sync_data().map_err(|e| io_err(path, e))?;
+                io.sync_data().map_err(|e| label_io_err(&display, e))?;
                 if let Some(t0) = t0 {
                     mc_obs::record_f64(
                         "store.fsync_ns",
@@ -330,10 +356,7 @@ impl Store {
             .ok_or_else(|| ExpError::Config("merge needs at least one store".into()))?;
         let mut merged = Store::in_memory(first.spec());
         for s in stores {
-            let display = s
-                .path
-                .as_ref()
-                .map_or_else(|| "<memory>".to_string(), |p| p.display().to_string());
+            let display = s.label.clone();
             check_header(&s.header, first.spec(), &display)?;
             for r in &s.records {
                 if merged.completed.contains(&r.unit) {
@@ -362,15 +385,15 @@ impl Store {
 }
 
 /// Serializes `value` as one JSON line, writes it, and fsyncs.
-fn write_line<T: Serialize>(file: &mut File, path: &Path, value: &T) -> Result<(), ExpError> {
+fn write_line<T: Serialize>(io: &mut dyn StoreIo, label: &str, value: &T) -> Result<(), ExpError> {
     let mut line = serde_json::to_string(value).map_err(|e| ExpError::Store {
-        path: path.display().to_string(),
+        path: label.to_string(),
         detail: format!("serialization failed: {e}"),
     })?;
     line.push('\n');
-    file.write_all(line.as_bytes())
-        .map_err(|e| io_err(path, e))?;
-    file.sync_data().map_err(|e| io_err(path, e))?;
+    io.write_all(line.as_bytes())
+        .map_err(|e| label_io_err(label, e))?;
+    io.sync_data().map_err(|e| label_io_err(label, e))?;
     Ok(())
 }
 
@@ -440,11 +463,14 @@ fn check_header(header: &StoreHeader, spec: &CampaignSpec, display: &str) -> Res
 /// Parses the record lines after the header. Returns the records and the
 /// byte length of the valid region *relative to the record bytes*. A
 /// torn or unparseable LAST line is dropped (crash case); an unparseable
-/// interior line is corruption.
+/// interior line is corruption, reported with its 1-based line number
+/// and absolute byte offset (`base_offset` is where the record bytes
+/// start within the file — i.e. the header line's length).
 fn parse_records(
     bytes: &[u8],
     spec: &CampaignSpec,
     display: &str,
+    base_offset: usize,
 ) -> Result<(Vec<UnitRecord>, usize), ExpError> {
     let mut records = Vec::new();
     let mut seen = HashSet::new();
@@ -473,9 +499,15 @@ fn parse_records(
             }
             None if last => break, // torn or garbled tail: truncate.
             None => {
+                // `offset` has only advanced past parsed lines, so it is
+                // the corrupt line's start relative to the record bytes.
                 return Err(ExpError::Store {
                     path: display.to_string(),
-                    detail: format!("record line {} does not parse", i + 2),
+                    detail: format!(
+                        "record line {} (byte offset {}) does not parse",
+                        i + 2,
+                        base_offset + offset
+                    ),
                 });
             }
         }
@@ -490,7 +522,7 @@ fn parse_store_bytes(bytes: &[u8], spec: &CampaignSpec, display: &str) -> Result
     };
     check_header(&header, spec, display)?;
     let header_len = bytes.len() - rest.len();
-    let (records, rec_len) = parse_records(rest, spec, display)?;
+    let (records, rec_len) = parse_records(rest, spec, display, header_len)?;
     Ok(Parsed::Replayed {
         records,
         good_len: header_len + rec_len,
@@ -670,6 +702,41 @@ mod tests {
         let err = Store::create_or_resume(&path, &s).unwrap_err();
         assert!(matches!(err, ExpError::Store { .. }), "{err}");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_reports_line_and_byte_offset() {
+        let s = spec();
+        // Three records on lines 2–4; corrupting line 2 or 3 is interior
+        // (line 4 would be a recoverable tail). Check the error pinpoints
+        // each position by 1-based line number and absolute byte offset.
+        for corrupt_idx in 0..2usize {
+            let path = tmp(&format!("interior-pos{corrupt_idx}"));
+            let _ = std::fs::remove_file(&path);
+            {
+                let (mut store, _) = Store::create_or_resume(&path, &s).unwrap();
+                store.append(record(&s, 0, 0.1)).unwrap();
+                store.append(record(&s, 1, 0.2)).unwrap();
+                store.append(record(&s, 2, 0.3)).unwrap();
+            }
+            let text = std::fs::read_to_string(&path).unwrap();
+            let mut lines: Vec<&str> = text.lines().collect();
+            let line_no = corrupt_idx + 2; // header is line 1
+            let byte_offset: usize = lines[..corrupt_idx + 1].iter().map(|l| l.len() + 1).sum();
+            lines[corrupt_idx + 1] = "###garbage###";
+            std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+            let err = Store::create_or_resume(&path, &s).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("record line {line_no} ")),
+                "position {corrupt_idx}: {msg}"
+            );
+            assert!(
+                msg.contains(&format!("(byte offset {byte_offset})")),
+                "position {corrupt_idx}: {msg}"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Deterministic fault injection and a minimal property-testing harness.
+//!
+//! This crate is the adversarial arm of the `chebymc` workspace: it makes
+//! the crash-safety claims of the experiment store and the analytical
+//! claims of the scheduler/statistics crates *falsifiable at scale*,
+//! deterministically, from single-integer seeds.
+//!
+//! Three layers, all `std`-only (the single dependency is `mc-task`,
+//! whose types the generators produce):
+//!
+//! * [`rng`] + [`prop`] — a seeded SplitMix64 PRNG and a small
+//!   property-testing harness (generation, iteration-bounded shrinking,
+//!   reproducing-seed failure reports). No external quickcheck: the
+//!   harness must sit *below* every crate it is used to test.
+//! * [`schedule`] + [`io`] — seed-derived fault schedules and the
+//!   [`io::StoreIo`] trait with a production [`io::RealFile`] and an
+//!   in-memory [`io::SimDisk`] that injects failed/short writes, failed
+//!   fsyncs, ENOSPC, and crash-at-operation-N with torn tails.
+//! * [`gen`] — generators for task sets, campaign shapes, and
+//!   execution-time traces, consumed by the differential-oracle suites
+//!   in `mc-sched`, `mc-stats`, and `mc-exp`.
+//!
+//! DESIGN.md §12 documents the fault-schedule encoding and the
+//! reproduce-from-seed workflow (`chebymc fault sweep --seed N`).
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod io;
+pub mod prop;
+pub mod rng;
+pub mod schedule;
+
+pub use io::{FaultStats, RealFile, SimDisk, SimFile, StoreIo};
+pub use prop::{assert_prop, check, Counterexample, PropConfig, Shrink};
+pub use rng::{mix64, FaultRng};
+pub use schedule::{Fault, FaultSchedule};

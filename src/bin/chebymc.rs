@@ -80,6 +80,13 @@ USAGE:
       (or CHEBYMC_TRACE with the bench binaries): per-span durations,
       counters, tracked values, and latency histogram quantiles.
 
+  chebymc fault sweep [--seed <n>] [--count <n>] [--ops <m>]
+      Drive the result store through <count> seed-derived crash schedules
+      (run → crash → resume → merge on a simulated disk, each session
+      crashing within its first <m> I/O operations) and check the crash
+      invariant plus canonical byte identity. Any violation is printed
+      with the schedule seed that reproduces it; exits non-zero.
+
   chebymc --version
       Print the version.
 
@@ -113,6 +120,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "lint" => cmd_lint(rest),
         "exp" => cmd_exp(rest),
         "trace" => cmd_trace(rest),
+        "fault" => cmd_fault(rest),
         "version" | "--version" | "-V" => {
             println!("chebymc {}", env!("CARGO_PKG_VERSION"));
             Ok(())
@@ -132,7 +140,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 /// The dispatchable subcommand names, for typo suggestions.
 const SUBCOMMANDS: &[&str] = &[
-    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "trace", "help", "version",
+    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "trace", "fault", "help",
+    "version",
 ];
 
 /// Suggests the nearest valid subcommand when the typo is close enough
@@ -461,6 +470,69 @@ fn trace_summary(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|e| format!("`{path}` is not a valid chebymc trace: {e}"))?;
     print!("{}", summary.render());
     Ok(())
+}
+
+fn cmd_fault(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(sub) = args.first() else {
+        return Err("fault needs a subcommand: sweep".into());
+    };
+    match sub.as_str() {
+        "sweep" => fault_sweep(&args[1..]),
+        other => Err(format!("unknown fault subcommand `{other}` (expected sweep)").into()),
+    }
+}
+
+fn fault_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::fault::{sweep, SweepConfig};
+    let (mut seed, mut count, mut ops) = (None, None, None);
+    let positional = parse_flags(
+        args,
+        &mut [
+            ("--seed", &mut seed),
+            ("--count", &mut count),
+            ("--ops", &mut ops),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]).into());
+    }
+    let seed: u64 = seed.as_deref().unwrap_or("0").parse()?;
+    let count: u64 = count.as_deref().unwrap_or("100").parse()?;
+    let ops: u64 = ops.as_deref().unwrap_or("16").parse()?;
+    if count == 0 {
+        return Err("--count must be at least 1".into());
+    }
+    if ops == 0 {
+        return Err("--ops must be at least 1 (each session must be able to crash)".into());
+    }
+
+    let cfg = SweepConfig {
+        ops,
+        ..SweepConfig::new(seed, count)
+    };
+    let report = sweep(&cfg);
+    println!(
+        "fault sweep: {} schedules, {} sessions, {} crashes, {} injected errors",
+        report.schedules, report.cycles, report.crashes, report.injected_errors
+    );
+    if report.ok() {
+        println!("invariant held across every schedule");
+        Ok(())
+    } else {
+        for v in &report.violations {
+            eprintln!("VIOLATION: {v}");
+            eprintln!(
+                "  reproduce: chebymc fault sweep --seed {} --count 1 --ops {ops}",
+                v.seed
+            );
+        }
+        Err(format!(
+            "{} invariant violation(s) across {} schedules",
+            report.violations.len(),
+            report.schedules
+        )
+        .into())
+    }
 }
 
 /// Removes a boolean `--flag` from `args`, reporting whether it was there.

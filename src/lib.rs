@@ -15,6 +15,7 @@
 //! | [`lint`] | static analysis: CFG structure, task-set and config diagnostics |
 //! | [`core`] | the paper's scheme: policies, metrics, batch pipelines |
 //! | [`exp`] | sharded, resumable experiment campaigns with a crash-safe store |
+//! | [`fault`] | deterministic fault injection and the seeded property harness |
 //! | [`obs`] | zero-dependency tracing: spans, counters, histograms, JSONL sink |
 //!
 //! # Quickstart
@@ -44,6 +45,7 @@
 pub use chebymc_core as core;
 pub use mc_exec as exec;
 pub use mc_exp as exp;
+pub use mc_fault as fault;
 pub use mc_lint as lint;
 pub use mc_obs as obs;
 pub use mc_opt as opt;

@@ -298,3 +298,56 @@ fn simulate_rejects_bad_flags() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
     let _ = std::fs::remove_file(&raw);
 }
+
+#[test]
+fn fault_sweep_runs_clean_and_reports_counts() {
+    let out = chebymc(&[
+        "fault", "sweep", "--seed", "3", "--count", "30", "--ops", "12",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("30 schedules"), "{text}");
+    assert!(text.contains("invariant held"), "{text}");
+    // A sweep that never crashed or never injected an error would be
+    // vacuous — the report makes that visible, so check it here too.
+    let crashes: u64 = text
+        .split(", ")
+        .find_map(|part| part.strip_suffix(" crashes"))
+        .and_then(|n| n.trim().parse().ok())
+        .expect("report lists crashes");
+    assert!(crashes > 0, "{text}");
+}
+
+#[test]
+fn fault_sweep_rejects_bad_flags() {
+    let out = chebymc(&["fault"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sweep"));
+
+    let out = chebymc(&["fault", "resect"]);
+    assert!(!out.status.success());
+
+    let out = chebymc(&["fault", "sweep", "--count", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--count"));
+
+    let out = chebymc(&["fault", "sweep", "--ops", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--ops"));
+
+    let out = chebymc(&["fault", "sweep", "--bogus", "1"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_lists_fault_sweep() {
+    let out = chebymc(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("chebymc fault sweep"), "help must list fault");
+    assert!(text.contains("reproduces"), "{text}");
+}

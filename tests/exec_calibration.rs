@@ -1,0 +1,87 @@
+//! Regression tests for the mc-exec execution-time sampler: every
+//! benchmark's sampler must truncate at its pessimistic WCET, stay
+//! strictly positive, reproduce from its seed, and land its empirical
+//! `(mean, σ)` within tolerance of the published Table I statistics it
+//! was calibrated against.
+
+use chebymc::prelude::*;
+
+/// Relative tolerances for the empirical moments of a 20 000-sample
+/// trace. Truncation at `WCET_pes` biases both moments slightly low, so
+/// σ gets more room than the mean.
+const MEAN_RTOL: f64 = 0.05;
+const SIGMA_RTOL: f64 = 0.15;
+
+const TRACE_LEN: usize = 20_000;
+
+#[test]
+fn samplers_truncate_at_wcet_pes_and_stay_positive() {
+    for b in benchmarks::all().unwrap() {
+        let wcet_pes = b.spec().wcet_pes;
+        for seed in [0u64, 1, 0xDEAD_BEEF] {
+            let trace = b.sample_trace(TRACE_LEN, seed).unwrap();
+            let s = trace.summary().unwrap();
+            assert!(
+                s.max() <= wcet_pes,
+                "{} (seed {seed}): sample {} exceeds WCET_pes {wcet_pes}",
+                b.name(),
+                s.max()
+            );
+            assert!(
+                s.min() > 0.0,
+                "{} (seed {seed}): non-positive sample {}",
+                b.name(),
+                s.min()
+            );
+        }
+    }
+}
+
+#[test]
+fn samplers_are_calibrated_to_table_one() {
+    for b in benchmarks::all().unwrap() {
+        let spec = *b.spec();
+        let s = b.sample_trace(TRACE_LEN, 7).unwrap().summary().unwrap();
+        let mean_err = (s.mean() - spec.acet).abs() / spec.acet;
+        assert!(
+            mean_err <= MEAN_RTOL,
+            "{}: empirical mean {} vs Table I ACET {} (rel err {:.4})",
+            b.name(),
+            s.mean(),
+            spec.acet,
+            mean_err
+        );
+        if spec.sigma > 0.0 {
+            let sigma_err = (s.std_dev() - spec.sigma).abs() / spec.sigma;
+            assert!(
+                sigma_err <= SIGMA_RTOL,
+                "{}: empirical σ {} vs Table I σ {} (rel err {:.4})",
+                b.name(),
+                s.std_dev(),
+                spec.sigma,
+                sigma_err
+            );
+        }
+    }
+}
+
+#[test]
+fn sampling_is_deterministic_per_seed() {
+    for b in benchmarks::all().unwrap() {
+        let a = b.sample_trace(256, 42).unwrap();
+        let c = b.sample_trace(256, 42).unwrap();
+        assert_eq!(
+            a.samples(),
+            c.samples(),
+            "{}: seed 42 not reproducible",
+            b.name()
+        );
+        let d = b.sample_trace(256, 43).unwrap();
+        assert_ne!(
+            a.samples(),
+            d.samples(),
+            "{}: different seeds produced identical traces",
+            b.name()
+        );
+    }
+}

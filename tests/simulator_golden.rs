@@ -175,3 +175,121 @@ fn overload_misses_at_the_deadline_boundary() {
     assert_eq!(m.lc_completed, 2);
     assert_eq!(m.busy_time, ms(21), "overloaded core never idles");
 }
+
+fn hc_ns(id: u32, c_lo: Duration, c_hi: Duration, p_ms: u64) -> McTask {
+    McTask::builder(TaskId::new(id))
+        .criticality(Criticality::Hi)
+        .period(ms(p_ms))
+        .c_lo(c_lo)
+        .c_hi(c_hi)
+        .build()
+        .unwrap()
+}
+
+/// The budget boundary itself, one nanosecond at a time: a job that runs
+/// *exactly* `C_LO` completes without a switch; a job that needs one more
+/// nanosecond switches the instant the budget is exhausted.
+///
+/// With `C_HI = C_LO` the completion event and the would-be overrun event
+/// coincide, and completion must win (the job has no remaining demand).
+/// With `C_HI = C_LO + 1 ns` the job still has 1 ns of demand at the
+/// boundary, so each period carries exactly 1 ns of HI mode.
+#[test]
+fn overrun_exactly_at_the_budget_boundary() {
+    let two_ms = ms(2);
+    let cfg = SimConfig {
+        horizon: ms(50),
+        lc_policy: LcPolicy::DropAll,
+        exec_model: JobExecModel::FullHiBudget,
+        x_factor: None,
+        release_jitter: Duration::ZERO,
+        seed: 0,
+    };
+
+    // C_HI == C_LO: running to the pessimistic budget *is* running to the
+    // LO budget — never an overrun.
+    let ts = TaskSet::from_tasks(vec![hc_ns(0, two_ms, two_ms, 10)]).unwrap();
+    let m = simulate(&ts, &cfg).unwrap();
+    assert_eq!(m.mode_switches, 0, "exactly C_LO is not an overrun");
+    assert_eq!(m.time_in_hi, Duration::ZERO);
+    assert_eq!(m.hc_completed, 5);
+    assert_eq!(m.busy_time, ms(10));
+
+    // C_HI == C_LO + 1 ns: the switch fires at the boundary tick and the
+    // system spends exactly that final nanosecond in HI mode.
+    let ns1 = Duration::from_nanos(1);
+    let ts = TaskSet::from_tasks(vec![hc_ns(0, two_ms, two_ms + ns1, 10)]).unwrap();
+    let m = simulate(&ts, &cfg).unwrap();
+    assert_eq!(m.mode_switches, 5, "one boundary overrun per period");
+    assert_eq!(m.time_in_hi, Duration::from_nanos(5));
+    assert_eq!(m.hc_completed, 5);
+    assert_eq!(m.hc_deadline_misses, 0);
+    assert_eq!(m.busy_time, ms(10) + Duration::from_nanos(5));
+}
+
+/// A mode switch landing on the very tick of an LC deadline: the switch
+/// is processed first, so the starved LC job counts as dropped-at-switch,
+/// not as a deadline miss — and an LC release on the same tick is
+/// rejected in HI mode.
+///
+/// HC (C_LO 5, C_HI 10, P 20) with x = 0.2 gets VD = 4 ms < 5 ms, so it
+/// runs ahead of the LC job (C 2, P 5) and exhausts its budget at t = 5 —
+/// exactly the first LC deadline and the second LC release.
+/// Hand schedule: HC [0,5) LO + [5,10) HI; LC₃ [10,12); LC₄ [15,17).
+#[test]
+fn mode_switch_on_an_lc_deadline_tick() {
+    let ts = TaskSet::from_tasks(vec![hc(0, 5, 10, 20), lc(1, 2, 5)]).unwrap();
+    let cfg = SimConfig {
+        horizon: ms(20), // one hyperperiod
+        lc_policy: LcPolicy::DropAll,
+        exec_model: JobExecModel::FullHiBudget,
+        x_factor: Some(0.2),
+        release_jitter: Duration::ZERO,
+        seed: 0,
+    };
+    let m = simulate(&ts, &cfg).unwrap();
+    assert_eq!(m.mode_switches, 1);
+    assert_eq!(m.time_in_hi, ms(5));
+    assert_eq!(
+        m.lc_dropped_at_switch, 1,
+        "the starved job is charged to the switch, not the deadline"
+    );
+    assert_eq!(m.lc_deadline_misses, 0);
+    assert_eq!(m.lc_rejected_in_hi, 1, "the t = 5 release lands in HI mode");
+    assert_eq!(m.lc_released, 3, "releases at 0, 10 and 15 are admitted");
+    assert_eq!(m.lc_completed, 2);
+    assert_eq!(m.hc_completed, 1);
+    assert_eq!(m.hc_deadline_misses, 0);
+    assert_eq!(m.busy_time, ms(14));
+}
+
+/// Back-to-back overruns inside one 20 ms hyperperiod: the first HC job
+/// overruns at t = 1 (switch #1), the second overruns *while already in
+/// HI mode* — which must not count as another switch — and the next
+/// period's job overruns at t = 11 (switch #2) after a clean return to LO.
+///
+/// Hand schedule (x = 1, FullHiBudget):
+/// J1 [0,2) — switch at t = 1; J2 [2,6) in HI; LO again at t = 6;
+/// J1' [10,12) — switch at t = 11; LO again at t = 12; idle to 20.
+#[test]
+fn back_to_back_overruns_in_one_hyperperiod() {
+    let ts = TaskSet::from_tasks(vec![hc(0, 1, 2, 10), hc(1, 2, 4, 20)]).unwrap();
+    let cfg = SimConfig {
+        horizon: ms(20),
+        lc_policy: LcPolicy::DropAll,
+        exec_model: JobExecModel::FullHiBudget,
+        x_factor: Some(1.0),
+        release_jitter: Duration::ZERO,
+        seed: 0,
+    };
+    let m = simulate(&ts, &cfg).unwrap();
+    assert_eq!(
+        m.mode_switches, 2,
+        "the second overrun happens inside HI mode and must not re-switch"
+    );
+    assert_eq!(m.time_in_hi, ms(5) + ms(1), "HI over [1,6) and [11,12)");
+    assert_eq!(m.hc_released, 3);
+    assert_eq!(m.hc_completed, 3);
+    assert_eq!(m.hc_deadline_misses, 0);
+    assert_eq!(m.busy_time, ms(8), "2 + 4 + 2 ms of execution");
+}
