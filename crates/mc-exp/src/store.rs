@@ -26,7 +26,7 @@ use crate::spec::{unit_seed, CampaignSpec};
 use crate::{io_err, label_io_err, ExpError};
 use mc_fault::{RealFile, StoreIo};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 
@@ -101,7 +101,7 @@ pub struct ResumeInfo {
 pub struct Store {
     header: StoreHeader,
     records: Vec<UnitRecord>,
-    completed: HashSet<usize>,
+    completed: BTreeSet<usize>,
     io: Option<Box<dyn StoreIo>>,
     /// Display name for error messages: the path for on-disk stores,
     /// `<memory>` or a caller-chosen label otherwise.
@@ -121,7 +121,7 @@ impl Store {
                 spec: spec.clone(),
             },
             records: Vec::new(),
-            completed: HashSet::new(),
+            completed: BTreeSet::new(),
             io: None,
             label: "<memory>".to_string(),
             path: None,
@@ -233,7 +233,7 @@ impl Store {
         let mut store = Store {
             header,
             records: Vec::new(),
-            completed: HashSet::new(),
+            completed: BTreeSet::new(),
             io: None,
             label: display,
             path: Some(path.to_path_buf()),
@@ -473,7 +473,7 @@ fn parse_records(
     base_offset: usize,
 ) -> Result<(Vec<UnitRecord>, usize), ExpError> {
     let mut records = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut good_len = 0usize;
     let mut offset = 0usize;
     let lines: Vec<&[u8]> = bytes.split_inclusive(|&b| b == b'\n').collect();

@@ -14,6 +14,12 @@
 //! * [`exp_pass`] checks experiment-campaign specifications (`E0xx`):
 //!   axis/replica emptiness, shard validity, label collisions, and output
 //!   path clashes, so `chebymc exp run` fails fast with named diagnostics.
+//! * [`source_pass`] audits the workspace's *own Rust sources* for
+//!   determinism and soundness hazards (`D0xx`/`U0xx`): unordered hash
+//!   iteration, wall-clock reads, unseeded randomness, unordered float
+//!   reduction, undocumented `unsafe` and panics, truncating float
+//!   casts. Driven by `chebymc lint --source` with a checked-in
+//!   `lint.toml` allowlist.
 //!
 //! Diagnostics carry stable codes ([`Code`]), fixed severities
 //! ([`Severity`]), and a source label; a [`LintReport`] renders either for
@@ -32,12 +38,16 @@ pub mod cfg_pass;
 pub mod diag;
 pub mod exp_pass;
 pub mod scheme_pass;
+pub mod source_pass;
 pub mod task_pass;
 
 pub use cfg_pass::{analyze_structure, lint_cfg, CfgStructure};
-pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use diag::{Code, Diagnostic, Gate, LintReport, Severity, ALL_CODES};
 pub use exp_pass::{lint_campaign, CampaignCheck};
 pub use scheme_pass::{lint_ga_config, lint_generator_config, lint_problem_config};
+pub use source_pass::{
+    collect_workspace_files, lint_source_file, lint_workspace_sources, Allowlist, SourceAudit,
+};
 pub use task_pass::lint_taskset;
 
 use mc_exec::cfg::Cfg;

@@ -1,0 +1,283 @@
+//! The `lint.toml` per-file/per-code allowlist for the source pass.
+//!
+//! The file is a checked-in policy document: every entry names a path
+//! (optionally with a trailing `*` wildcard), the `D`/`U` codes it
+//! suppresses there, and a non-empty reason. A hand-rolled parser for
+//! exactly this subset keeps mc-lint zero-dependency; anything outside
+//! the subset is a hard error so the policy file cannot silently rot.
+//!
+//! ```toml
+//! [[allow]]
+//! path = "crates/mc-obs/src/lib.rs"
+//! codes = ["D002"]
+//! reason = "trace clock: wall-times are observability metadata"
+//! ```
+
+use crate::diag::{Code, ALL_CODES};
+
+/// One allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path; a trailing `*` matches any suffix.
+    pub path: String,
+    /// The codes suppressed at that path (source-pass classes only).
+    pub codes: Vec<Code>,
+    /// Why the suppression is sound. Required, surfaced in reports.
+    pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `lint.toml`.
+    pub line: usize,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An allowlist that suppresses nothing.
+    #[must_use]
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// The entries, in file order.
+    #[must_use]
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
+    /// The first entry that suppresses `code` at `rel_path`, if any.
+    #[must_use]
+    pub fn matches(&self, rel_path: &str, code: Code) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.codes.contains(&code) && path_matches(&e.path, rel_path))
+    }
+
+    /// Parses the `lint.toml` subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the offending 1-based line for anything
+    /// outside the subset: unknown sections or keys, missing keys,
+    /// empty reasons, codes outside the `D`/`U` classes, or malformed
+    /// values.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<PartialEntry> = None;
+
+        for (i, raw) in text.lines().enumerate() {
+            let n = i + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(entry) = current.take() {
+                    entries.push(finish_entry(entry)?);
+                }
+                current = Some((None, Vec::new(), None, n));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "lint.toml:{n}: unknown section `{line}` (only [[allow]] is recognised)"
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "lint.toml:{n}: expected `key = value`, got `{line}`"
+                ));
+            };
+            let Some(entry) = current.as_mut() else {
+                return Err(format!(
+                    "lint.toml:{n}: `{}` outside an [[allow]] section",
+                    key.trim()
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "path" => entry.0 = Some(parse_string(value, n)?),
+                "reason" => entry.2 = Some(parse_string(value, n)?),
+                "codes" => {
+                    for item in parse_string_array(value, n)? {
+                        let code = ALL_CODES
+                            .iter()
+                            .copied()
+                            .find(|c| c.to_string() == item)
+                            .ok_or_else(|| format!("lint.toml:{n}: unknown code `{item}`"))?;
+                        if code.class() != 'D' && code.class() != 'U' {
+                            return Err(format!(
+                                "lint.toml:{n}: `{item}` is not a source-pass code (only D/U codes are file-scoped)"
+                            ));
+                        }
+                        entry.1.push(code);
+                    }
+                }
+                other => return Err(format!("lint.toml:{n}: unknown key `{other}`")),
+            }
+        }
+        if let Some(entry) = current.take() {
+            entries.push(finish_entry(entry)?);
+        }
+        Ok(Allowlist { entries })
+    }
+}
+
+/// Validates a completed entry tuple into an [`AllowEntry`].
+/// An `[[allow]]` entry mid-parse: optional `path`, accumulated codes,
+/// optional `reason`, and the header's 1-based line.
+type PartialEntry = (Option<String>, Vec<Code>, Option<String>, usize);
+
+fn finish_entry((path, codes, reason, line): PartialEntry) -> Result<AllowEntry, String> {
+    let path = path.ok_or(format!(
+        "lint.toml:{line}: [[allow]] entry without a `path`"
+    ))?;
+    let reason = reason.ok_or(format!(
+        "lint.toml:{line}: [[allow]] entry without a `reason`"
+    ))?;
+    if reason.trim().is_empty() {
+        return Err(format!(
+            "lint.toml:{line}: empty `reason` — justify the suppression"
+        ));
+    }
+    if codes.is_empty() {
+        return Err(format!("lint.toml:{line}: [[allow]] entry without `codes`"));
+    }
+    Ok(AllowEntry {
+        path,
+        codes,
+        reason,
+        line,
+    })
+}
+
+/// Whether `pattern` (exact path, or prefix ending in `*`) covers `rel`.
+fn path_matches(pattern: &str, rel: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => rel.starts_with(prefix),
+        None => rel == pattern,
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_string = !in_string,
+            '#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses a double-quoted TOML string (no escapes needed by the policy).
+fn parse_string(value: &str, line: usize) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| {
+            format!("lint.toml:{line}: expected a double-quoted string, got `{value}`")
+        })?;
+    if inner.contains('"') {
+        return Err(format!(
+            "lint.toml:{line}: escaped quotes are not supported"
+        ));
+    }
+    Ok(inner.to_string())
+}
+
+/// Parses `["A", "B"]` into its items.
+fn parse_string_array(value: &str, line: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| {
+            format!("lint.toml:{line}: expected an array like [\"D002\"], got `{value}`")
+        })?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|item| parse_string(item, line))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# policy file
+[[allow]]
+path = "crates/mc-obs/src/lib.rs"
+codes = ["D002"]
+reason = "trace clock" # trailing comment
+
+[[allow]]
+path = "crates/bench/src/bin/*"
+codes = ["D002", "U002"]
+reason = "bench timing is metadata"
+"#;
+
+    #[test]
+    fn parses_entries_and_matches_paths() {
+        let a = Allowlist::parse(GOOD).unwrap();
+        assert_eq!(a.entries().len(), 2);
+        assert_eq!(a.matches("crates/mc-obs/src/lib.rs", Code::D002), Some(0));
+        assert_eq!(a.matches("crates/mc-obs/src/lib.rs", Code::D001), None);
+        assert_eq!(
+            a.matches("crates/bench/src/bin/fig5.rs", Code::U002),
+            Some(1)
+        );
+        assert_eq!(a.matches("crates/bench/src/lib.rs", Code::U002), None);
+    }
+
+    #[test]
+    fn rejects_missing_or_empty_fields() {
+        assert!(
+            Allowlist::parse("[[allow]]\npath = \"x\"\ncodes = [\"D001\"]\n")
+                .unwrap_err()
+                .contains("without a `reason`")
+        );
+        assert!(
+            Allowlist::parse("[[allow]]\npath = \"x\"\nreason = \"r\"\n")
+                .unwrap_err()
+                .contains("without `codes`")
+        );
+        assert!(
+            Allowlist::parse("[[allow]]\ncodes = [\"D001\"]\nreason = \"r\"\n")
+                .unwrap_err()
+                .contains("without a `path`")
+        );
+    }
+
+    #[test]
+    fn rejects_non_source_codes_and_unknown_keys() {
+        let err = Allowlist::parse("[[allow]]\npath = \"x\"\ncodes = [\"T001\"]\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(err.contains("not a source-pass code"), "{err}");
+        let err = Allowlist::parse("[[allow]]\npath = \"x\"\nseverity = \"high\"\n").unwrap_err();
+        assert!(err.contains("unknown key"), "{err}");
+        let err = Allowlist::parse("[general]\nfoo = 1\n").unwrap_err();
+        assert!(err.contains("unknown section"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_codes_and_stray_keys() {
+        let err = Allowlist::parse("[[allow]]\npath = \"x\"\ncodes = [\"D999\"]\nreason = \"r\"\n")
+            .unwrap_err();
+        assert!(err.contains("unknown code"), "{err}");
+        let err = Allowlist::parse("path = \"x\"\n").unwrap_err();
+        assert!(err.contains("outside an [[allow]]"), "{err}");
+    }
+
+    #[test]
+    fn empty_allowlist_matches_nothing() {
+        assert_eq!(Allowlist::empty().matches("any", Code::D001), None);
+        assert_eq!(Allowlist::parse("").unwrap(), Allowlist::empty());
+    }
+}

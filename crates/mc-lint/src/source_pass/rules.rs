@@ -1,0 +1,586 @@
+//! The determinism (`D0xx`) and soundness (`U0xx`) rules over scanned
+//! source files.
+//!
+//! Every rule is a lexical heuristic on blanked code (see
+//! [`super::scanner`]): deliberately simple, deterministic, and
+//! documented as under-approximate — a rule that cannot see types errs
+//! toward silence, and the per-file allowlist in `lint.toml` handles the
+//! justified exceptions it does flag.
+
+use super::allowlist::Allowlist;
+use super::scanner::{ScannedFile, ScannedLine};
+use crate::diag::{Code, Diagnostic};
+
+/// Integer types a float must not be cast to without explicit rounding.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Evidence that a statement computes in floating point.
+const FLOAT_MARKERS: &[&str] = &["f64", "f32", "as_secs_f64", "as_secs_f32"];
+
+/// Explicit-rounding (or bit-level) calls that make a float→int cast
+/// well-defined and reviewable.
+const ROUNDING_MARKERS: &[&str] = &["round", "ceil", "floor", "trunc", "clamp", "to_bits"];
+
+/// Identifiers whose presence means randomness came from the
+/// environment, not a seed.
+const ENTROPY_SOURCES: &[&str] = &["thread_rng", "from_entropy", "OsRng", "ThreadId"];
+
+/// The result of linting one file: findings plus, per allowlist entry,
+/// how many findings it suppressed (for the stale-entry check).
+#[derive(Debug, Clone)]
+pub struct FileFindings {
+    /// The diagnostics, in (line, rule) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// `suppressed[k]` counts findings suppressed by allowlist entry `k`.
+    pub suppressed: Vec<usize>,
+}
+
+/// Lints one scanned file under an allowlist.
+#[must_use]
+pub fn lint_file(file: &ScannedFile, allow: &Allowlist) -> FileFindings {
+    let mut out = FileFindings {
+        diagnostics: Vec::new(),
+        suppressed: vec![0; allow.entries().len()],
+    };
+    let file_mentions_hash = file
+        .lines
+        .iter()
+        .filter(|l| !l.in_test)
+        .any(|l| contains_word(&l.code, "HashMap") || contains_word(&l.code, "HashSet"));
+
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let number = idx + 1;
+        let mut emit = |code: Code, message: String| match allow.matches(&file.rel_path, code) {
+            Some(entry) => out.suppressed[entry] += 1,
+            None => out.diagnostics.push(Diagnostic::new(
+                code,
+                format!("src:{}:{number}", file.rel_path),
+                message,
+            )),
+        };
+
+        check_hash_collections(line, &mut emit);
+        check_wall_clock(line, &mut emit);
+        check_entropy(line, &mut emit);
+        check_unordered_reduction(file, idx, file_mentions_hash, &mut emit);
+        check_unsafe(file, idx, &mut emit);
+        check_float_casts(file, idx, &mut emit);
+        if !file.is_bin {
+            check_panics(file, idx, &mut emit);
+        }
+    }
+    out
+}
+
+/// D001 — `HashMap`/`HashSet` in library code.
+fn check_hash_collections(line: &ScannedLine, emit: &mut impl FnMut(Code, String)) {
+    for name in ["HashMap", "HashSet"] {
+        if contains_word(&line.code, name) {
+            emit(
+                Code::D001,
+                format!(
+                    "`{name}` has a nondeterministic iteration order; use the BTree \
+                     equivalent or sort before iterating (allowlist membership-only uses)"
+                ),
+            );
+        }
+    }
+}
+
+/// D002 — `Instant::now` / `SystemTime` wall-clock reads.
+fn check_wall_clock(line: &ScannedLine, emit: &mut impl FnMut(Code, String)) {
+    let dense = strip_ws(&line.code);
+    if dense.contains("Instant::now(") {
+        emit(
+            Code::D002,
+            "`Instant::now()` reads the wall clock; results must not depend on it \
+             (timing-only modules belong in the lint.toml allowlist)"
+                .to_string(),
+        );
+    }
+    if contains_word(&line.code, "SystemTime") {
+        emit(
+            Code::D002,
+            "`SystemTime` reads the wall clock; results must not depend on it \
+             (timing-only modules belong in the lint.toml allowlist)"
+                .to_string(),
+        );
+    }
+}
+
+/// D003 — unseeded or environment-derived randomness.
+fn check_entropy(line: &ScannedLine, emit: &mut impl FnMut(Code, String)) {
+    for name in ENTROPY_SOURCES {
+        if contains_word(&line.code, name) {
+            emit(
+                Code::D003,
+                format!(
+                    "`{name}` draws from the environment; every random stream must \
+                     derive from an explicit seed (see the core seed contract)"
+                ),
+            );
+        }
+    }
+    if strip_ws(&line.code).contains("rand::random(") {
+        emit(
+            Code::D003,
+            "`rand::random()` is thread-local and unseeded; derive values from an \
+             explicit seeded RNG instead"
+                .to_string(),
+        );
+    }
+}
+
+/// D004 — float reduction over an unordered iterator. Fires when the
+/// enclosing statement shows float evidence, a reduction, and unordered
+/// hash iteration (directly or via `.values()`/`.keys()` in a file that
+/// uses hash collections).
+fn check_unordered_reduction(
+    file: &ScannedFile,
+    idx: usize,
+    file_mentions_hash: bool,
+    emit: &mut impl FnMut(Code, String),
+) {
+    let line = &file.lines[idx];
+    let dense = strip_ws(&line.code);
+    let reduces = [".sum(", ".sum::<", ".product(", ".product::<", ".fold("]
+        .iter()
+        .any(|m| dense.contains(m));
+    if !reduces {
+        return;
+    }
+    let stmt = statement_around(file, idx);
+    let stmt_dense = strip_ws(&stmt);
+    let float = FLOAT_MARKERS.iter().any(|m| contains_word(&stmt, m)) || has_float_literal(&stmt);
+    if !float {
+        return;
+    }
+    let direct_hash = contains_word(&stmt, "HashMap") || contains_word(&stmt, "HashSet");
+    let via_views = file_mentions_hash
+        && [".values(", ".keys(", ".iter(", ".drain(", ".into_iter("]
+            .iter()
+            .any(|m| stmt_dense.contains(m));
+    if direct_hash || via_views {
+        emit(
+            Code::D004,
+            "float reduction over an unordered iterator: accumulation order changes \
+             the rounded result; iterate a sorted view instead"
+                .to_string(),
+        );
+    }
+}
+
+/// U001 — `unsafe` without a `// SAFETY:` justification in the
+/// preceding comments (same line or up to 4 lines above).
+fn check_unsafe(file: &ScannedFile, idx: usize, emit: &mut impl FnMut(Code, String)) {
+    if !contains_word(&file.lines[idx].code, "unsafe") {
+        return;
+    }
+    let from = idx.saturating_sub(4);
+    let justified = file.lines[from..=idx]
+        .iter()
+        .any(|l| l.comment.contains("SAFETY:"));
+    if !justified {
+        emit(
+            Code::U001,
+            "`unsafe` without a `// SAFETY:` comment in the preceding lines; state \
+             the invariant that makes this sound"
+                .to_string(),
+        );
+    }
+}
+
+/// U002 — float→int `as` cast without explicit rounding: the cast's
+/// operand expression shows float evidence but no rounding call. Only
+/// the operand is examined — evidence elsewhere in the statement (a
+/// neighbouring `as f64`, an `f64` field in a nearby struct) says
+/// nothing about what *this* cast truncates.
+fn check_float_casts(file: &ScannedFile, idx: usize, emit: &mut impl FnMut(Code, String)) {
+    let line = &file.lines[idx];
+    let code = &line.code;
+    let mut search_from = 0usize;
+    while let Some(pos) = find_word_from(code, "as", search_from) {
+        search_from = pos + 2;
+        let target: String = code[pos + 2..]
+            .chars()
+            .skip_while(|c| c.is_whitespace())
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !INT_TYPES.contains(&target.as_str()) {
+            continue;
+        }
+        // The enclosing statement's text up to this cast (earlier lines
+        // plus this line's prefix), then narrowed to the operand.
+        let mut prefix = statement_before(file, idx);
+        prefix.push_str(&code[..pos]);
+        let operand = cast_operand(&prefix);
+        let float =
+            FLOAT_MARKERS.iter().any(|m| contains_word(operand, m)) || has_float_literal(operand);
+        let rounded = ROUNDING_MARKERS.iter().any(|m| contains_word(operand, m));
+        if float && !rounded {
+            emit(
+                Code::U002,
+                format!(
+                    "float value cast to `{target}` with `as` truncates toward zero \
+                     and saturates silently; make the rounding explicit \
+                     (`.round()`/`.floor()`/`.ceil()`) or clamp first"
+                ),
+            );
+        }
+    }
+}
+
+/// U003/U004 — `.unwrap()` and `.expect(..)` in library code. A
+/// one-argument `.expect("…")` with a string-literal message is the
+/// sanctioned, documented panic form (U004, informational); a bare
+/// `.unwrap()` or an `.expect(..)` whose single argument is not a string
+/// literal is U003. Calls with two or more arguments, and calls whose
+/// result is propagated with `?`, are domain methods that merely share
+/// the name (std's `expect` returns `T`, never `Result`), and are
+/// skipped.
+fn check_panics(file: &ScannedFile, idx: usize, emit: &mut impl FnMut(Code, String)) {
+    let line = &file.lines[idx];
+    let dense = strip_ws(&line.code);
+    let mut from = 0usize;
+    while let Some(p) = dense[from..].find(".unwrap()") {
+        from += p + ".unwrap()".len();
+        emit(
+            Code::U003,
+            "`.unwrap()` in library code panics without a documented invariant; \
+             return an error or use `.expect(\"<invariant>\")`"
+                .to_string(),
+        );
+    }
+    let mut search = 0usize;
+    while let Some(p) = dense[search..].find(".expect(") {
+        let open = search + p + ".expect(".len() - 1;
+        search = open;
+        // The argument list may continue on following lines: join the
+        // statement's remaining dense text.
+        let mut text = dense[open..].to_string();
+        for next in file.lines.iter().skip(idx + 1).take(10) {
+            if text.matches('(').count() > text.matches(')').count() {
+                text.push_str(&strip_ws(&next.code));
+            } else {
+                break;
+            }
+        }
+        match expect_args(&text) {
+            Some((args, _)) if args.len() >= 2 => {} // domain method, not Option/Result::expect
+            Some((_, end)) if text[end..].starts_with('?') => {} // returns Result — domain method
+            Some((args, _)) if args.len() == 1 && args[0].starts_with('"') => emit(
+                Code::U004,
+                "documented `.expect(\"…\")` panic in library code (inventory; \
+                 allow U004 to silence)"
+                    .to_string(),
+            ),
+            _ => emit(
+                Code::U003,
+                "`.expect(..)` without a string-literal message does not document \
+                 its invariant; use `.expect(\"<invariant>\")` or return an error"
+                    .to_string(),
+            ),
+        }
+    }
+}
+
+/// Splits the parenthesised argument list starting at `text[0] == '('`
+/// into top-level comma-separated arguments, plus the byte index just
+/// past the closing `)`. Returns `None` when the list never closes in
+/// the joined text.
+fn expect_args(text: &str) -> Option<(Vec<String>, usize)> {
+    debug_assert!(text.starts_with('('));
+    let mut depth = 0usize;
+    let mut args: Vec<String> = vec![String::new()];
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' | '[' | '{' => {
+                depth += 1;
+                if depth > 1 {
+                    args.last_mut().expect("args starts non-empty").push(c);
+                }
+            }
+            ')' | ']' | '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    let list: Vec<String> = args.into_iter().filter(|a| !a.is_empty()).collect();
+                    return Some((list, i + c.len_utf8()));
+                }
+                args.last_mut().expect("args starts non-empty").push(c);
+            }
+            ',' if depth == 1 => args.push(String::new()),
+            _ => args.last_mut().expect("args starts non-empty").push(c),
+        }
+    }
+    None
+}
+
+/// The text of the statement containing line `idx` (split on `;`),
+/// capped at 10 lines in each direction.
+fn statement_around(file: &ScannedFile, idx: usize) -> String {
+    let mut text = statement_before(file, idx);
+    text.push_str(&file.lines[idx].code);
+    let mut depth_guard = 0;
+    if !file.lines[idx].code.contains(';') {
+        for next in file.lines.iter().skip(idx + 1).take(10) {
+            text.push('\n');
+            text.push_str(&next.code);
+            depth_guard += 1;
+            if next.code.contains(';') || depth_guard >= 10 {
+                break;
+            }
+        }
+    }
+    text
+}
+
+/// The statement text *before* line `idx`: preceding lines back to the
+/// last `;` (exclusive), capped at 10 lines.
+fn statement_before(file: &ScannedFile, idx: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for prev in file.lines[..idx].iter().rev().take(10) {
+        match prev.code.rfind(';') {
+            Some(p) => {
+                parts.push(&prev.code[p + 1..]);
+                break;
+            }
+            None => parts.push(&prev.code),
+        }
+    }
+    parts.reverse();
+    let mut text = parts.join("\n");
+    if !text.is_empty() {
+        text.push('\n');
+    }
+    text
+}
+
+/// Whether `text` contains `word` delimited by non-identifier chars.
+pub fn contains_word(text: &str, word: &str) -> bool {
+    find_word_from(text, word, 0).is_some()
+}
+
+/// Finds `word` at an identifier boundary, starting at byte `from`.
+fn find_word_from(text: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut start = from;
+    while let Some(p) = text.get(start..).and_then(|t| t.find(word)) {
+        let pos = start + p;
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        start = pos + word.len();
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Removes all whitespace (for token-sequence matching).
+fn strip_ws(text: &str) -> String {
+    text.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Whether the text contains a float literal: `digit . digit` or an
+/// exponent form (`1e9`, `1e-9`).
+fn has_float_literal(text: &str) -> bool {
+    let b = text.as_bytes();
+    let mut i = 0;
+    while i < b.len() {
+        // Hex/binary/octal literals are skipped whole: the `E` in
+        // `0x9E37` is a hex digit, not an exponent.
+        if b[i] == b'0'
+            && i + 1 < b.len()
+            && matches!(b[i + 1], b'x' | b'X' | b'b' | b'B' | b'o' | b'O')
+        {
+            i += 2;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            continue;
+        }
+        if b[i].is_ascii_digit() && i + 2 < b.len() {
+            let (c1, c2) = (b[i + 1], b[i + 2]);
+            if (c1 == b'.' && c2.is_ascii_digit())
+                || ((c1 == b'e' || c1 == b'E') && (c2.is_ascii_digit() || c2 == b'-' || c2 == b'+'))
+            {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The operand expression immediately before an `as` cast: scans
+/// `prefix` backwards, balancing brackets, stopping at an operator,
+/// separator, or statement boundary at depth zero. `-` is kept so a
+/// negated literal (`-1.5 as i64`) stays in the operand.
+fn cast_operand(prefix: &str) -> &str {
+    let b = prefix.as_bytes();
+    let mut depth = 0usize;
+    let mut i = b.len();
+    while i > 0 {
+        match b[i - 1] {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b',' | b';' | b'=' | b'{' | b'}' | b'+' | b'*' | b'/' | b'%' | b'&' | b'|' | b'<'
+            | b'>' | b'!' | b'?'
+                if depth == 0 =>
+            {
+                break;
+            }
+            _ => {}
+        }
+        i -= 1;
+    }
+    &prefix[i..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Code;
+
+    fn findings(rel: &str, src: &str) -> Vec<(Code, usize)> {
+        let file = ScannedFile::scan(rel, src);
+        lint_file(&file, &Allowlist::empty())
+            .diagnostics
+            .into_iter()
+            .map(|d| {
+                let line = d
+                    .source
+                    .rsplit(':')
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .expect("source label ends with the line number");
+                (d.code, line)
+            })
+            .collect()
+    }
+
+    fn lib(src: &str) -> Vec<(Code, usize)> {
+        findings("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn hashmap_in_lib_code_is_d001() {
+        let f =
+            lib("use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n");
+        assert_eq!(f, vec![(Code::D001, 1), (Code::D001, 2)]);
+    }
+
+    #[test]
+    fn hashmap_in_test_or_comment_is_clean() {
+        let f = lib("// a HashMap here is fine\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_is_d002() {
+        let f = lib("fn f() { let t = std::time::Instant::now(); }\n");
+        assert_eq!(f, vec![(Code::D002, 1)]);
+        let f = lib("use std::time::SystemTime;\n");
+        assert_eq!(f, vec![(Code::D002, 1)]);
+    }
+
+    #[test]
+    fn entropy_sources_are_d003() {
+        let f = lib("fn f() { let mut rng = rand::thread_rng(); }\n");
+        assert_eq!(f, vec![(Code::D003, 1)]);
+        let f = lib("fn f() -> f64 { rand::random() }\n");
+        assert_eq!(f, vec![(Code::D003, 1)]);
+    }
+
+    #[test]
+    fn float_sum_over_hash_values_is_d004() {
+        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u32, f64>) -> f64 {\n    m.values().sum::<f64>()\n}\n";
+        let f = lib(src);
+        assert!(f.contains(&(Code::D004, 3)), "{f:?}");
+    }
+
+    #[test]
+    fn int_count_over_hash_is_not_d004() {
+        let src = "use std::collections::HashSet;\nfn f(s: &HashSet<u64>) -> u64 {\n    s.iter().copied().sum()\n}\n";
+        let f = lib(src);
+        assert!(!f.iter().any(|&(c, _)| c == Code::D004), "{f:?}");
+    }
+
+    #[test]
+    fn unsafe_without_safety_is_u001() {
+        let f = lib("fn f(p: *const u8) -> u8 { unsafe { *p } }\n");
+        assert_eq!(f, vec![(Code::U001, 1)]);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_is_clean() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+
+    #[test]
+    fn unrounded_float_cast_is_u002() {
+        let f = lib("fn f(x: f64) -> u64 { (x * 2.0) as u64 }\n");
+        assert_eq!(f, vec![(Code::U002, 1)]);
+    }
+
+    #[test]
+    fn rounded_or_integer_casts_are_clean() {
+        assert!(lib("fn f(x: f64) -> u64 { x.round() as u64 }\n").is_empty());
+        assert!(lib("fn f(n: usize) -> u64 { n as u64 }\n").is_empty());
+        assert!(lib("fn f(x: f64) -> f64 { x as f64 }\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_is_u003_and_documented_expect_is_u004() {
+        let f = lib("fn f(o: Option<u8>) -> u8 { o.unwrap() }\n");
+        assert_eq!(f, vec![(Code::U003, 1)]);
+        let f = lib("fn f(o: Option<u8>) -> u8 { o.expect(\"always set by new()\") }\n");
+        assert_eq!(f, vec![(Code::U004, 1)]);
+    }
+
+    #[test]
+    fn domain_expect_methods_are_skipped() {
+        // Two-argument expect is a parser-style domain method.
+        let f = lib("fn f(p: &mut P) { p.expect(Tok::Eq, \"after key\"); }\n");
+        assert!(f.is_empty(), "{f:?}");
+        // One non-string argument is an undocumented panic.
+        let f = lib("fn f(p: &mut P) { p.expect(b'{'); }\n");
+        assert_eq!(f, vec![(Code::U003, 1)]);
+    }
+
+    #[test]
+    fn multiline_expect_message_is_u004() {
+        let src = "fn f(o: Option<u8>) -> u8 {\n    o.expect(\n        \"set by construction\",\n    )\n}\n";
+        let f = lib(src);
+        assert_eq!(f, vec![(Code::U004, 2)]);
+    }
+
+    #[test]
+    fn bins_may_unwrap_but_not_use_hash_collections() {
+        let src = "use std::collections::HashMap;\nfn main() { foo().unwrap(); }\n";
+        let f = findings("crates/bench/src/bin/demo.rs", src);
+        assert_eq!(f, vec![(Code::D001, 1)]);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_clean() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { foo().unwrap(); }\n}\n";
+        assert!(lib(src).is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! A zero-dependency Rust source scanner for the lint source pass.
+//!
+//! The scanner is *not* a parser: it classifies every byte of a source
+//! file as code, comment, string/char literal, and produces per-line
+//! views with literals blanked and comments separated, plus a test-region
+//! marking (`#[cfg(test)]` items and `#[test]` functions). The rules in
+//! [`super::rules`] then work on clean code text where a `HashMap` inside
+//! a doc comment or a `".unwrap()"` inside a string can no longer produce
+//! false findings.
+//!
+//! Handled literal forms: line comments, nested block comments, string
+//! literals with escapes, raw strings `r"…"`/`r#"…"#` (any `#` depth),
+//! byte strings `b"…"`/`br#"…"#`, char and byte-char literals, and
+//! lifetimes (`'a` is code, not an unterminated char literal).
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedLine {
+    /// The line's code with literals blanked: every string literal
+    /// becomes `""`, every char literal `'_'`; comments are removed.
+    pub code: String,
+    /// The line's comment text (without the `//`/`/*` markers). Block
+    /// comments contribute to every line they span.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` item or a `#[test]`
+    /// function (attribute line included).
+    pub in_test: bool,
+}
+
+/// A scanned file: workspace-relative path, target kind, and lines.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// Whether the file belongs to a binary target (`src/bin/…` or
+    /// `main.rs`): panics and wall-clock reads are judged differently.
+    pub is_bin: bool,
+    /// The scanned lines, 0-indexed (line numbers in diagnostics are
+    /// 1-based).
+    pub lines: Vec<ScannedLine>,
+}
+
+impl ScannedFile {
+    /// Scans `source`, classifying bytes and marking test regions.
+    #[must_use]
+    pub fn scan(rel_path: &str, source: &str) -> Self {
+        let mut lines = split_classify(source);
+        mark_test_regions(&mut lines);
+        ScannedFile {
+            rel_path: rel_path.to_string(),
+            is_bin: path_is_bin(rel_path),
+            lines,
+        }
+    }
+}
+
+/// Whether a workspace-relative path names a binary target.
+fn path_is_bin(rel_path: &str) -> bool {
+    rel_path.contains("/bin/") || rel_path.ends_with("/main.rs") || rel_path == "main.rs"
+}
+
+/// The byte-classification state machine: splits `source` into lines of
+/// blanked code + comment text.
+#[allow(clippy::too_many_lines)]
+fn split_classify(source: &str) -> Vec<ScannedLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<ScannedLine> = Vec::new();
+    let mut line = ScannedLine::default();
+    let mut i = 0usize;
+
+    // Closes the current line buffer (on '\n' and at EOF).
+    macro_rules! newline {
+        () => {{
+            lines.push(std::mem::take(&mut line));
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                newline!();
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (incl. doc comments): capture to '\n'.
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    line.comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nested; spans lines.
+                i += 2;
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        line.comment.push_str("/*");
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        if depth > 0 {
+                            line.comment.push_str("*/");
+                        }
+                        i += 2;
+                    } else if chars[i] == '\n' {
+                        newline!();
+                        i += 1;
+                    } else {
+                        line.comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Plain string literal with escapes; may span lines.
+                line.code.push_str("\"\"");
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            newline!();
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            'r' | 'b' if is_literal_prefix(&chars, i) => {
+                let (blank, next) = consume_prefixed_literal(&chars, i, &mut lines, &mut line);
+                line.code.push_str(blank);
+                i = next;
+            }
+            '\'' => {
+                // Char literal vs lifetime. A char literal is '\…' or
+                // 'x' (any single char followed by a closing quote); a
+                // lifetime is '` followed by an identifier with no
+                // closing quote.
+                if chars.get(i + 1) == Some(&'\\') {
+                    line.code.push_str("'_'");
+                    i += 2; // past '\
+                    while i < chars.len() && chars[i] != '\'' {
+                        i += 1;
+                    }
+                    i += 1; // past closing '
+                } else if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                    line.code.push_str("'_'");
+                    i += 3;
+                } else {
+                    // Lifetime (or `'static`): keep the quote as code.
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                line.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !line.code.is_empty() || !line.comment.is_empty() {
+        lines.push(line);
+    }
+    lines
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or a
+/// byte-char literal rather than an identifier.
+fn is_literal_prefix(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (`for`, `attr`, …).
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return true; // byte-char literal b'x'
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"') && j > i
+}
+
+/// Consumes a `b'…'`, `b"…"`, `r"…"`, `r#"…"#`, `br#"…"#` literal
+/// starting at `i`; returns the blanked text and the next index.
+fn consume_prefixed_literal<'a>(
+    chars: &[char],
+    i: usize,
+    lines: &mut Vec<ScannedLine>,
+    line: &mut ScannedLine,
+) -> (&'a str, usize) {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            // Byte-char literal: b'x' or b'\n'.
+            j += 1;
+            if chars.get(j) == Some(&'\\') {
+                j += 1;
+            }
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            return ("'_'", j + 1);
+        }
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j), Some(&'"'), "caller checked the prefix");
+    j += 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' if !raw => j += 2,
+            '\n' => {
+                lines.push(std::mem::take(line));
+                j += 1;
+            }
+            '"' => {
+                let closed = (1..=hashes).all(|k| chars.get(j + k) == Some(&'#'));
+                if closed {
+                    return ("\"\"", j + 1 + hashes);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    ("\"\"", j)
+}
+
+/// Marks lines inside `#[cfg(test)]` items and `#[test]` functions.
+///
+/// Works on the blanked code: finds test attributes, then the braced
+/// body of the item they precede (an attribute followed by `;` before
+/// any `{` is a braceless item and marks nothing).
+fn mark_test_regions(lines: &mut [ScannedLine]) {
+    // (char, line index) stream of the blanked code.
+    let stream: Vec<(char, usize)> = lines
+        .iter()
+        .enumerate()
+        .flat_map(|(ln, l)| {
+            l.code
+                .chars()
+                .chain(std::iter::once('\n'))
+                .map(move |c| (c, ln))
+        })
+        .collect();
+
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < stream.len() {
+        if stream[i].0 == '#' && matches!(stream.get(i + 1), Some(&('[', _))) {
+            let attr_line = stream[i].1;
+            let (content, after) = read_attribute(&stream, i + 2);
+            if attribute_is_test(&content) {
+                if let Some(end) = find_braced_body(&stream, after) {
+                    regions.push((attr_line, stream[end].1));
+                    // Continue *inside* the region: nested attributes are
+                    // irrelevant (already marked), so skip past it.
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    for (from, to) in regions {
+        for l in &mut lines[from..=to] {
+            l.in_test = true;
+        }
+    }
+}
+
+/// Reads an attribute's bracketed content starting just past `#[`;
+/// returns the content (whitespace stripped) and the index after `]`.
+fn read_attribute(stream: &[(char, usize)], start: usize) -> (String, usize) {
+    let mut depth = 1usize;
+    let mut content = String::new();
+    let mut i = start;
+    while i < stream.len() && depth > 0 {
+        match stream[i].0 {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return (content, i + 1);
+                }
+            }
+            c if !c.is_whitespace() => content.push(c),
+            _ => {}
+        }
+        if depth > 0 {
+            i += 1;
+        }
+    }
+    (content, i)
+}
+
+/// Whether an attribute body selects test-only compilation: `test`,
+/// `cfg(test)`, or any `cfg(…)` whose predicate mentions `test` as a
+/// word (`cfg(all(test,…))`).
+fn attribute_is_test(content: &str) -> bool {
+    if content == "test" {
+        return true;
+    }
+    if !content.starts_with("cfg(") {
+        return false;
+    }
+    let bytes = content.as_bytes();
+    content.match_indices("test").any(|(pos, _)| {
+        let before_ok =
+            pos == 0 || !bytes[pos - 1].is_ascii_alphanumeric() && bytes[pos - 1] != b'_';
+        let after = pos + 4;
+        let after_ok =
+            after >= bytes.len() || !bytes[after].is_ascii_alphanumeric() && bytes[after] != b'_';
+        before_ok && after_ok
+    })
+}
+
+/// From just past a test attribute, finds the end of the item's braced
+/// body: skips further attributes, then scans to the first `{` (tracking
+/// nothing else) unless a `;` ends the item first, and returns the index
+/// of the matching `}`.
+fn find_braced_body(stream: &[(char, usize)], start: usize) -> Option<usize> {
+    let mut i = start;
+    // Skip whitespace and any further attributes.
+    loop {
+        while i < stream.len() && stream[i].0.is_whitespace() {
+            i += 1;
+        }
+        if stream[i..].first().map(|&(c, _)| c) == Some('#')
+            && stream.get(i + 1).map(|&(c, _)| c) == Some('[')
+        {
+            let (_, after) = read_attribute(stream, i + 2);
+            i = after;
+        } else {
+            break;
+        }
+    }
+    // Scan the item header: a `;` first means a braceless item.
+    while i < stream.len() {
+        match stream[i].0 {
+            ';' => return None,
+            '{' => break,
+            _ => i += 1,
+        }
+    }
+    if i >= stream.len() {
+        return None;
+    }
+    let mut depth = 0usize;
+    while i < stream.len() {
+        match stream[i].0 {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScannedFile {
+        ScannedFile::scan("crates/demo/src/lib.rs", src)
+    }
+
+    #[test]
+    fn comments_are_separated_from_code() {
+        let f = scan("let x = 1; // HashMap here\n/* SystemTime */ let y = 2;\n");
+        assert_eq!(f.lines[0].code.trim_end(), "let x = 1;");
+        assert!(f.lines[0].comment.contains("HashMap"));
+        assert!(f.lines[1].code.contains("let y = 2;"));
+        assert!(f.lines[1].comment.contains("SystemTime"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = scan("/* outer /* inner */ still */ code();\n");
+        assert_eq!(f.lines[0].code.trim(), "code();");
+        assert!(f.lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = scan("let s = \"HashMap::new() .unwrap()\"; call();\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("\"\""));
+        assert!(f.lines[0].code.contains("call();"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings_are_blanked() {
+        let f = scan(
+            "let a = r#\"Instant::now() \" quote\"#; let b = b\"unsafe\"; let c = br#\"x\"#;\n",
+        );
+        let code = &f.lines[0].code;
+        assert!(!code.contains("Instant"), "{code}");
+        assert!(!code.contains("unsafe"), "{code}");
+        assert!(code.contains("let b ="), "{code}");
+        assert!(code.contains("let c ="), "{code}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let b = b'{'; }\n");
+        let code = &f.lines[0].code;
+        assert!(code.contains("<'a>"), "lifetime preserved: {code}");
+        assert!(code.contains("&'a str"), "lifetime preserved: {code}");
+        assert!(code.contains("'_'"), "char blanked: {code}");
+        assert!(!code.contains("'x'"), "{code}");
+    }
+
+    #[test]
+    fn multiline_strings_span_lines() {
+        let f = scan("let s = \"line one\nline two with unwrap()\";\nnext();\n");
+        assert_eq!(f.lines.len(), 3);
+        assert!(!f.lines[1].code.contains("unwrap"));
+        assert!(f.lines[2].code.contains("next();"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "\
+pub fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t() { lib_code(); }
+}
+
+pub fn more_lib_code() {}
+";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test, "lib code is not test");
+        assert!(f.lines[2].in_test, "attribute line is test");
+        assert!(
+            f.lines[3].in_test && f.lines[7].in_test,
+            "module body is test"
+        );
+        assert!(!f.lines[9].in_test, "code after the module is not test");
+    }
+
+    #[test]
+    fn test_fn_outside_module_is_marked() {
+        let src = "fn lib() {}\n#[test]\nfn check() {\n    lib();\n}\nfn lib2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test && f.lines[3].in_test && f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_all_test_is_marked_but_feature_cfg_is_not() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { }\n#[cfg(feature = \"testing\")]\nmod f { }\n";
+        let f = scan(src);
+        assert!(f.lines[0].in_test && f.lines[1].in_test);
+        assert!(
+            !f.lines[2].in_test && !f.lines[3].in_test,
+            "`testing` is not the word `test`"
+        );
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_marks_nothing_after() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() { body(); }\n";
+        let f = scan(src);
+        assert!(
+            !f.lines[2].in_test,
+            "the later fn is not part of the use item"
+        );
+    }
+
+    #[test]
+    fn bin_paths_are_recognised() {
+        assert!(ScannedFile::scan("src/bin/chebymc.rs", "").is_bin);
+        assert!(ScannedFile::scan("crates/bench/src/bin/fig5.rs", "").is_bin);
+        assert!(ScannedFile::scan("src/main.rs", "").is_bin);
+        assert!(!ScannedFile::scan("crates/core/src/lib.rs", "").is_bin);
+    }
+}

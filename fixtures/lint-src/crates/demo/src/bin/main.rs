@@ -1,0 +1,10 @@
+//! A bin target: panics are operator-facing, so U003/U004 do not apply;
+//! the D002 wall-clock reads are covered by the corpus lint.toml.
+
+use std::time::SystemTime;
+
+fn main() {
+    let t = SystemTime::now();
+    let _ = t.elapsed().unwrap();
+    println!("ok");
+}

@@ -1,0 +1,57 @@
+//! Tricky constructs that must stay clean — the false-positive guard of
+//! the golden test. Mentions of HashMap or Instant::now() in prose and
+//! strings do not count.
+
+use std::collections::BTreeMap;
+
+pub fn describe() -> &'static str {
+    "uses HashMap and Instant::now() by name only"
+}
+
+pub fn dim_cast(xs: &[f64], dim: usize) -> f64 {
+    // `dim as i32` is an integer operand; the f64 nearby is irrelevant.
+    (xs.len() as f64).powi(dim as i32)
+}
+
+pub fn hex_cast() -> usize {
+    0x9E37 as usize // the hex `E` is not a float exponent
+}
+
+pub fn rounded(x: f64) -> u64 {
+    x.round() as u64
+}
+
+pub fn keyed() -> BTreeMap<u32, f64> {
+    BTreeMap::new()
+}
+
+pub struct Parser {
+    pos: usize,
+}
+
+impl Parser {
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let _ = want;
+        self.pos += 1;
+        Ok(())
+    }
+
+    pub fn parse(&mut self) -> Result<(), String> {
+        // A domain `expect` returning Result, propagated with `?`.
+        self.expect(b'{')?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn unwrap_and_hashes_are_fine_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        assert!(m.get(&0).copied().is_none());
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! Planted determinism defects for the source-audit golden test.
+//! Each marked line must produce exactly the code named in its comment.
+
+use std::collections::HashMap; // D001
+use std::time::Instant;
+
+pub fn elapsed_ms() -> f64 {
+    let start = Instant::now(); // D002
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng(); // D003
+    rng.gen()
+}
+
+pub fn total(weights: &HashMap<u32, f64>) -> f64 {
+    // ^ D001 on the signature line as well
+    weights.values().sum::<f64>() // D004: float reduction over a hash view
+}

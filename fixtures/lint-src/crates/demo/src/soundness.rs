@@ -1,0 +1,30 @@
+//! Planted soundness defects for the source-audit golden test.
+
+pub fn raw_read(p: *const u8) -> u8 {
+    unsafe { *p } // U001: no SAFETY comment
+}
+
+pub fn raw_read_documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn to_ticks(seconds: f64) -> u64 {
+    (seconds * 1e9) as u64 // U002: truncating float cast
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // U003
+}
+
+pub fn header(o: Option<u8>) -> u8 {
+    o.expect(magic()) // U003: message is not a string literal
+}
+
+fn magic() -> &'static str {
+    "m"
+}
+
+pub fn documented(o: Option<u8>) -> u8 {
+    o.expect("set by the constructor") // U004: documented panic inventory
+}

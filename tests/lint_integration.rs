@@ -40,7 +40,7 @@ fn cli_lint_reports_the_defects_and_exits_nonzero() {
     for code in ["C003", "C005", "T001"] {
         assert!(text.contains(code), "missing {code} in:\n{text}");
     }
-    assert!(String::from_utf8_lossy(&out.stderr).contains("lint found 3 error(s)"));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("lint found 3 deny-level finding(s)"));
 }
 
 #[test]
