@@ -175,8 +175,7 @@ mod tests {
             mutation_probability: -0.1,
             tournament_size: 0,
             elitism: 5,
-            seed: 0,
-            threads: 0,
+            ..GaConfig::default()
         };
         let report = lint_ga_config(&cfg);
         for code in [Code::S001, Code::S002, Code::S004, Code::S005] {

@@ -10,25 +10,35 @@
 //!
 //! The inner loop is allocation-free and parallel:
 //!
-//! * The population lives in one flat strided `Vec<f64>` (individual `i`
-//!   occupies `[i·genes, (i+1)·genes)`), double-buffered across
+//! * The population lives in one flat strided
+//!   [`FlatPopulation`](crate::incremental::FlatPopulation) (individual
+//!   `i` occupies `[i·genes, (i+1)·genes)`), double-buffered across
 //!   generations — variation writes offspring straight into the back
 //!   buffer and the buffers swap, so no per-individual `Vec` is ever
 //!   cloned.
-//! * Fitness evaluation fans out over a shared [`mc_par::WorkerPool`]
-//!   (`F: Sync`); all randomness stays confined to the serial variation
-//!   phase, so results are **bit-identical for any thread count**
-//!   ([`GaConfig::threads`]).
-//! * A genome-keyed memo cache skips re-evaluating elites (their scores
-//!   are carried over structurally) and duplicate chromosomes produced by
-//!   selection without crossover or mutation — a growing fraction of each
-//!   generation as the population converges.
+//! * Fitness evaluation goes through a pluggable backend. The generic
+//!   closure backend memoises genome → fitness and fans misses out over a
+//!   shared [`mc_par::WorkerPool`] (`F: Sync`). The incremental backend
+//!   (see [`crate::incremental`]) instead tracks each child's
+//!   *provenance* — parent, crossover span, mutated gene — and patches
+//!   the parent's cached partial reductions, or carries the parent's
+//!   score outright when the variation was a bitwise no-op.
+//! * All randomness stays confined to the serial variation phase, so
+//!   results are **bit-identical for any thread count**
+//!   ([`GaConfig::threads`]), and identical across backends (a backend
+//!   changes evaluation cost, never values).
+//! * When a generation's evaluation work (`pending genomes × genes`)
+//!   falls below [`GaConfig::serial_eval_threshold`], dispatch stays on
+//!   the calling thread even on a multi-thread pool — paper-scale
+//!   problems are far cheaper than a wake/park cycle.
 
+use crate::incremental::{Block, FlatPopulation, ObjectiveCache};
 use crate::OptError;
-use mc_par::{ThreadBudget, WorkerPool};
+use mc_par::{DisjointSlice, ThreadBudget, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Inclusive bounds for one gene.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -92,6 +102,22 @@ pub struct GaConfig {
     /// two layers never oversubscribe the machine.
     #[serde(default)]
     pub threads: usize,
+    /// Disables the genome-keyed memo cache on the closure fitness path.
+    /// Another pure performance knob: memo hits return the bit-identical
+    /// value a fresh evaluation would (fitness functions are required to
+    /// be pure), so results never depend on this flag.
+    #[serde(default)]
+    pub disable_memo: bool,
+    /// Per-generation evaluation work (`pending genomes × genes`) below
+    /// which dispatch stays serial even on a multi-thread pool, because
+    /// the work is cheaper than waking the workers. `0` disables the
+    /// fallback (always dispatch to the pool). Results are bit-identical
+    /// either way; deserialized configs that omit the field get `0` (the
+    /// historical always-dispatch behaviour), while
+    /// [`GaConfig::default`] enables the fallback at a threshold
+    /// comfortably above paper-scale generations (64 × 6 = 384).
+    #[serde(default)]
+    pub serial_eval_threshold: usize,
 }
 
 impl Default for GaConfig {
@@ -105,6 +131,8 @@ impl Default for GaConfig {
             elitism: 2,
             seed: 0,
             threads: 0,
+            disable_memo: false,
+            serial_eval_threshold: 8192,
         }
     }
 }
@@ -159,6 +187,104 @@ pub struct GaResult {
     pub history: Vec<GenerationStats>,
 }
 
+/// How a run's objective evaluations were served. `considered` counts
+/// every slot the GA asked a score for
+/// (`full_evals + delta_evals + carried + memo_hits + batch_dups`);
+/// `genes_evaluated / genes_total` is the fraction of gene-terms actually
+/// folded — the incremental backend's work saving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Score requests across all generations (elites excluded — their
+    /// scores carry over structurally).
+    pub considered: u64,
+    /// Full objective evaluations (every gene folded).
+    pub full_evals: u64,
+    /// Incremental evaluations (only changed blocks re-folded).
+    pub delta_evals: u64,
+    /// Children bitwise identical to their parent: score copied, nothing
+    /// folded.
+    pub carried: u64,
+    /// Memo-cache hits on the closure path.
+    pub memo_hits: u64,
+    /// Within-generation duplicate genomes served from the batch table.
+    pub batch_dups: u64,
+    /// Gene-terms folded (full evaluations contribute their whole genome,
+    /// deltas only the re-folded blocks).
+    pub genes_evaluated: u64,
+    /// Gene-terms a full-recompute evaluator would have folded
+    /// (`considered × genes`).
+    pub genes_total: u64,
+}
+
+/// Index sentinel in [`Provenance`]: no crossover / no mutation.
+const NO_INDEX: u32 = u32::MAX;
+
+/// Where one next-generation individual came from: its first parent and
+/// the gene ranges variation may have touched. Genes outside the
+/// crossover span and the mutated gene are bitwise inherited from the
+/// parent (clamping is the identity on in-bounds genes), which is what
+/// lets the incremental backend patch instead of recompute.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Provenance {
+    parent: u32,
+    x_lo: u32,
+    x_hi: u32,
+    mutated: u32,
+}
+
+impl Provenance {
+    fn child_of(parent: usize) -> Self {
+        Provenance {
+            parent: parent as u32,
+            x_lo: NO_INDEX,
+            x_hi: NO_INDEX,
+            mutated: NO_INDEX,
+        }
+    }
+
+    fn parent(self) -> usize {
+        self.parent as usize
+    }
+
+    /// The inclusive crossover gene span, if the pair was crossed.
+    fn crossover(self) -> Option<(usize, usize)> {
+        (self.x_lo != NO_INDEX).then_some((self.x_lo as usize, self.x_hi as usize))
+    }
+
+    /// The mutated gene, if the child was mutated.
+    fn mutation(self) -> Option<usize> {
+        (self.mutated != NO_INDEX).then_some(self.mutated as usize)
+    }
+}
+
+/// The previous generation, as the evaluation backends see it: genomes,
+/// scores, and the provenance of every current-generation individual
+/// (indexed by *current* slot; parents index into `pop`/`scores`).
+pub(crate) struct PrevGen<'a> {
+    pub pop: &'a FlatPopulation,
+    pub scores: &'a [f64],
+    pub prov: &'a [Provenance],
+}
+
+/// One generation's fitness evaluation. Implementations must be pure in
+/// the genomes: `scores[i]` may depend only on genome `i` (and, through
+/// carried scores, on bitwise-identical ancestors), never on thread
+/// count or evaluation order.
+pub(crate) trait EvalBackend {
+    /// Writes `scores[i]` for every `i ≥ skip` (slots below `skip` hold
+    /// carried-over elite scores). `prev` is `None` for the initial
+    /// population and the previous generation afterwards.
+    fn evaluate(
+        &mut self,
+        pool: &WorkerPool,
+        pop: &FlatPopulation,
+        prev: Option<PrevGen<'_>>,
+        scores: &mut [f64],
+        skip: usize,
+        stats: &mut EvalStats,
+    );
+}
+
 /// Maximises `fitness` over chromosomes bounded by `bounds`.
 ///
 /// Fitness values must be finite; non-finite values are treated as
@@ -186,12 +312,29 @@ pub fn optimize<F>(bounds: &[GeneBounds], fitness: F, cfg: &GaConfig) -> Result<
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    optimize_with_stats(bounds, fitness, cfg).map(|(result, _)| result)
+}
+
+/// [`optimize`], additionally reporting how the evaluations were served
+/// (memo hits, batch duplicates, full evaluations).
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+pub fn optimize_with_stats<F>(
+    bounds: &[GeneBounds],
+    fitness: F,
+    cfg: &GaConfig,
+) -> Result<(GaResult, EvalStats), OptError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
     cfg.validate()?;
     if bounds.is_empty() {
         return Err(OptError::EmptyChromosome);
     }
     let pool = WorkerPool::with_budget(ThreadBudget::explicit(cfg.threads));
-    optimize_with_pool(bounds, fitness, cfg, &pool)
+    optimize_with_stats_pool(bounds, fitness, cfg, &pool)
 }
 
 /// [`optimize`] on a caller-supplied [`WorkerPool`], for callers that run
@@ -210,6 +353,35 @@ pub fn optimize_with_pool<F>(
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
+    optimize_with_stats_pool(bounds, fitness, cfg, pool).map(|(result, _)| result)
+}
+
+/// [`optimize_with_stats`] on a caller-supplied pool.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+pub fn optimize_with_stats_pool<F>(
+    bounds: &[GeneBounds],
+    fitness: F,
+    cfg: &GaConfig,
+    pool: &WorkerPool,
+) -> Result<(GaResult, EvalStats), OptError>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let mut backend = ClosureBackend::new(&fitness, !cfg.disable_memo, cfg.serial_eval_threshold);
+    run_ga(bounds, cfg, pool, &mut backend)
+}
+
+/// The GA loop shared by every backend: selection, variation, elitism and
+/// provenance tracking happen here, scoring is delegated.
+pub(crate) fn run_ga<B: EvalBackend>(
+    bounds: &[GeneBounds],
+    cfg: &GaConfig,
+    pool: &WorkerPool,
+    backend: &mut B,
+) -> Result<(GaResult, EvalStats), OptError> {
     cfg.validate()?;
     if bounds.is_empty() {
         return Err(OptError::EmptyChromosome);
@@ -222,25 +394,29 @@ where
     // Flat strided population, double-buffered: `pop` is the current
     // generation, `next` the one under construction. Scores ride along in
     // matching buffers so elite fitness carries over without re-evaluation.
-    let mut pop = vec![0.0f64; pop_n * genes];
-    let mut next = vec![0.0f64; pop_n * genes];
+    let mut pop = FlatPopulation::zeroed(pop_n, genes);
+    let mut next = FlatPopulation::zeroed(pop_n, genes);
     let mut scores = vec![0.0f64; pop_n];
     let mut next_scores = vec![0.0f64; pop_n];
     // Overflow slot: the last pair's second child when the remaining room
     // is odd. It is bred (and consumes RNG draws) but never admitted.
     let mut spare = vec![0.0f64; genes];
     let mut order: Vec<usize> = Vec::with_capacity(pop_n);
+    // Provenance of each `next` slot, for the incremental backend.
+    let mut prov = vec![Provenance::child_of(0); pop_n];
+    let mut stats = EvalStats::default();
 
     // Initial population: uniformly sampled within bounds.
-    for chromosome in pop.chunks_exact_mut(genes) {
+    for chromosome in pop.as_mut_slice().chunks_exact_mut(genes) {
         for (x, b) in chromosome.iter_mut().zip(bounds) {
             *x = b.sample(&mut rng);
         }
     }
-    let mut evaluator = Evaluator::new();
-    evaluator.evaluate(pool, &fitness, &pop, genes, &mut scores, 0);
+    stats.considered += pop_n as u64;
+    stats.genes_total += (pop_n * genes) as u64;
+    backend.evaluate(pool, &pop, None, &mut scores, 0, &mut stats);
 
-    let mut best = pop[..genes].to_vec();
+    let mut best = pop.genome(0).to_vec();
     let mut best_fitness = scores[0];
     let mut history = Vec::with_capacity(cfg.generations);
 
@@ -249,7 +425,7 @@ where
         // Track statistics and the all-time best.
         let mut gen_best = f64::NEG_INFINITY;
         let mut sum = 0.0;
-        for (c, &s) in pop.chunks_exact(genes).zip(&scores) {
+        for (c, &s) in pop.genomes().zip(&scores) {
             if s > best_fitness {
                 best_fitness = s;
                 best.copy_from_slice(c);
@@ -287,9 +463,9 @@ where
             order[..elites].sort_unstable_by(by_score_desc);
         }
         for (slot, &i) in order[..elites].iter().enumerate() {
-            next[slot * genes..(slot + 1) * genes]
-                .copy_from_slice(&pop[i * genes..(i + 1) * genes]);
+            next.genome_mut(slot).copy_from_slice(pop.genome(i));
             next_scores[slot] = scores[i];
+            prov[slot] = Provenance::child_of(i);
         }
 
         // Fill the rest via tournament selection + variation. All RNG
@@ -299,48 +475,73 @@ where
             let a = tournament(&scores, cfg.tournament_size, &mut rng);
             let b = tournament(&scores, cfg.tournament_size, &mut rng);
             let paired = filled + 1 < pop_n;
-            let (head, tail) = next.split_at_mut((filled + 1) * genes);
+            let (head, tail) = next.as_mut_slice().split_at_mut((filled + 1) * genes);
             let child1 = &mut head[filled * genes..];
             let child2: &mut [f64] = if paired {
                 &mut tail[..genes]
             } else {
                 &mut spare[..]
             };
-            child1.copy_from_slice(&pop[a * genes..(a + 1) * genes]);
-            child2.copy_from_slice(&pop[b * genes..(b + 1) * genes]);
+            child1.copy_from_slice(pop.genome(a));
+            child2.copy_from_slice(pop.genome(b));
+            let mut pv1 = Provenance::child_of(a);
+            let mut pv2 = Provenance::child_of(b);
             if rng.random::<f64>() < cfg.crossover_probability {
-                two_point_crossover(child1, child2, &mut rng);
+                let (p1, p2) = two_point_crossover(child1, child2, &mut rng);
+                (pv1.x_lo, pv1.x_hi) = (p1 as u32, p2 as u32);
+                (pv2.x_lo, pv2.x_hi) = (p1 as u32, p2 as u32);
             }
-            for child in [&mut *child1, child2] {
+            for (child, pv) in [(&mut *child1, &mut pv1), (child2, &mut pv2)] {
                 if rng.random::<f64>() < cfg.mutation_probability {
                     let g = rng.random_range(0..genes);
                     child[g] = bounds[g].sample(&mut rng);
+                    pv.mutated = g as u32;
                 }
                 for (x, b) in child.iter_mut().zip(bounds) {
                     *x = b.clamp(*x);
                 }
+            }
+            prov[filled] = pv1;
+            if paired {
+                prov[filled + 1] = pv2;
             }
             filled += if paired { 2 } else { 1 };
         }
 
         std::mem::swap(&mut pop, &mut next);
         std::mem::swap(&mut scores, &mut next_scores);
-        evaluator.evaluate(pool, &fitness, &pop, genes, &mut scores, elites);
+        stats.considered += (pop_n - elites) as u64;
+        stats.genes_total += ((pop_n - elites) * genes) as u64;
+        backend.evaluate(
+            pool,
+            &pop,
+            Some(PrevGen {
+                pop: &next,
+                scores: &next_scores,
+                prov: &prov,
+            }),
+            &mut scores,
+            elites,
+            &mut stats,
+        );
     }
 
     // Final sweep over the last generation.
-    for (c, &s) in pop.chunks_exact(genes).zip(&scores) {
+    for (c, &s) in pop.genomes().zip(&scores) {
         if s > best_fitness {
             best_fitness = s;
             best.copy_from_slice(c);
         }
     }
 
-    Ok(GaResult {
-        best,
-        best_fitness,
-        history,
-    })
+    Ok((
+        GaResult {
+            best,
+            best_fitness,
+            history,
+        },
+        stats,
+    ))
 }
 
 /// Clamps non-finite fitness to `NEG_INFINITY` (never selected).
@@ -497,10 +698,15 @@ impl<V: Copy + Default> GenomeTable<V> {
     }
 }
 
-/// Population evaluator: memo cache plus reusable dispatch buffers, so
+/// Closure-fitness backend: memo cache plus reusable dispatch buffers, so
 /// the per-generation evaluation allocates nothing on the steady path
 /// (table growth amortizes away once the cache warms up).
-struct Evaluator {
+struct ClosureBackend<'f, F> {
+    fitness: &'f F,
+    /// Probe/fill the memo and batch tables. Off, every slot is freshly
+    /// evaluated (the memo-ablation mode).
+    use_memo: bool,
+    serial_threshold: usize,
     /// Genome → fitness, persistent across generations.
     memo: GenomeTable<f64>,
     /// Genome → pending slot for the current batch only. Converged
@@ -518,9 +724,12 @@ struct Evaluator {
     dups: Vec<(usize, usize)>,
 }
 
-impl Evaluator {
-    fn new() -> Self {
-        Evaluator {
+impl<'f, F> ClosureBackend<'f, F> {
+    fn new(fitness: &'f F, use_memo: bool, serial_threshold: usize) -> Self {
+        ClosureBackend {
+            fitness,
+            use_memo,
+            serial_threshold,
             memo: GenomeTable::new(),
             batch: GenomeTable::new(),
             pending: Vec::new(),
@@ -529,68 +738,261 @@ impl Evaluator {
             dups: Vec::new(),
         }
     }
+}
 
-    /// Writes `scores[i] = sanitize(fitness(individual i))` for every
-    /// `i ≥ skip` (slots below `skip` hold carried-over elite scores).
-    /// Memo hits are served serially; unique misses fan out over `pool`.
-    /// Each genome is hashed exactly once per call.
-    fn evaluate<F>(
+impl<F> EvalBackend for ClosureBackend<'_, F>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    /// Memo hits are served serially; unique misses fan out over `pool`
+    /// (or stay on the calling thread below the serial threshold). Each
+    /// genome is hashed exactly once per call.
+    fn evaluate(
         &mut self,
         pool: &WorkerPool,
-        fitness: &F,
-        flat: &[f64],
-        genes: usize,
+        pop: &FlatPopulation,
+        _prev: Option<PrevGen<'_>>,
         scores: &mut [f64],
         skip: usize,
-    ) where
-        F: Fn(&[f64]) -> f64 + Sync,
-    {
+        stats: &mut EvalStats,
+    ) {
         let _batch_span = mc_obs::span("ga.fitness_batch");
+        let genes = pop.genes();
+        let flat = pop.as_slice();
         self.pending.clear();
         self.pending_hashes.clear();
         self.dups.clear();
-        self.batch.clear();
-        for i in skip..scores.len() {
-            let key = &flat[i * genes..(i + 1) * genes];
-            let hash = hash_genome(key);
-            if let Some(cached) = self.memo.get(hash, key) {
-                scores[i] = cached;
-            } else if let Some(slot) = self.batch.get(hash, key) {
-                self.dups.push((i, slot));
-            } else {
-                self.batch.insert(hash, key, self.pending.len());
-                self.pending_hashes.push(hash);
-                self.pending.push(i);
+        if self.use_memo {
+            self.batch.clear();
+            for (i, score) in scores.iter_mut().enumerate().skip(skip) {
+                let key = pop.genome(i);
+                let hash = hash_genome(key);
+                if let Some(cached) = self.memo.get(hash, key) {
+                    *score = cached;
+                } else if let Some(slot) = self.batch.get(hash, key) {
+                    self.dups.push((i, slot));
+                } else {
+                    self.batch.insert(hash, key, self.pending.len());
+                    self.pending_hashes.push(hash);
+                    self.pending.push(i);
+                }
             }
+        } else {
+            self.pending.extend(skip..scores.len());
         }
+        let considered = (scores.len() - skip) as u64;
+        let misses = self.pending.len() as u64;
+        let dups = self.dups.len() as u64;
+        stats.full_evals += misses;
+        stats.memo_hits += considered - misses - dups;
+        stats.batch_dups += dups;
+        stats.genes_evaluated += misses * genes as u64;
         if mc_obs::is_enabled() {
-            let considered = (scores.len() - skip) as u64;
-            let misses = self.pending.len() as u64;
-            let dups = self.dups.len() as u64;
             mc_obs::counter("ga.evals", misses);
             mc_obs::counter("ga.memo_hits", considered - misses - dups);
             mc_obs::counter("ga.batch_dups", dups);
         }
         self.pending_scores.resize(self.pending.len(), 0.0);
         let pending = &self.pending;
-        pool.fill(&mut self.pending_scores, |j| {
+        let fitness = self.fitness;
+        let score_of = |j: usize| {
             let i = pending[j];
             sanitize(fitness(&flat[i * genes..(i + 1) * genes]))
-        });
-        if self.memo.len() + self.pending.len() >= MEMO_CAPACITY {
-            self.memo.clear();
+        };
+        if self.serial_threshold > 0 && pending.len() * genes < self.serial_threshold {
+            for (j, slot) in self.pending_scores.iter_mut().enumerate() {
+                *slot = score_of(j);
+            }
+        } else {
+            pool.fill(&mut self.pending_scores, score_of);
         }
-        for ((&i, &hash), &s) in self
-            .pending
-            .iter()
-            .zip(&self.pending_hashes)
-            .zip(&self.pending_scores)
-        {
-            scores[i] = s;
-            self.memo.insert(hash, &flat[i * genes..(i + 1) * genes], s);
+        if self.use_memo {
+            if self.memo.len() + self.pending.len() >= MEMO_CAPACITY {
+                self.memo.clear();
+            }
+            for ((&i, &hash), &s) in self
+                .pending
+                .iter()
+                .zip(&self.pending_hashes)
+                .zip(&self.pending_scores)
+            {
+                scores[i] = s;
+                self.memo.insert(hash, pop.genome(i), s);
+            }
+            for &(i, slot) in &self.dups {
+                scores[i] = self.pending_scores[slot];
+            }
+        } else {
+            for (&i, &s) in self.pending.iter().zip(&self.pending_scores) {
+                scores[i] = s;
+            }
         }
-        for &(i, slot) in &self.dups {
-            scores[i] = self.pending_scores[slot];
+    }
+}
+
+/// Incremental delta-fitness backend over an
+/// [`ObjectiveCache`](crate::incremental::ObjectiveCache): each
+/// individual's per-block partial reductions are kept alongside its
+/// genome (double-buffered the same way), children are scored by patching
+/// their parent's partials, and bitwise-unchanged children carry the
+/// parent's score without touching a single gene.
+pub(crate) struct IncrementalBackend<'c> {
+    cache: &'c ObjectiveCache,
+    serial_threshold: usize,
+    /// Block partials of the generation being scored (row `i` is
+    /// individual `i`'s blocks).
+    cur: Vec<Block>,
+    /// Block partials of the previous generation.
+    prev: Vec<Block>,
+}
+
+impl<'c> IncrementalBackend<'c> {
+    pub(crate) fn new(cache: &'c ObjectiveCache, serial_threshold: usize) -> Self {
+        IncrementalBackend {
+            cache,
+            serial_threshold,
+            cur: Vec::new(),
+            prev: Vec::new(),
+        }
+    }
+}
+
+impl EvalBackend for IncrementalBackend<'_> {
+    fn evaluate(
+        &mut self,
+        pool: &WorkerPool,
+        pop: &FlatPopulation,
+        prev: Option<PrevGen<'_>>,
+        scores: &mut [f64],
+        skip: usize,
+        stats: &mut EvalStats,
+    ) {
+        let _batch_span = mc_obs::span("ga.fitness_batch");
+        let nb = self.cache.n_blocks();
+        let n = scores.len();
+        let genes = pop.genes();
+        let serial = |work: usize| self.serial_threshold > 0 && work < self.serial_threshold;
+        let Some(pg) = prev else {
+            // Initial population: full evaluation, partials materialised.
+            self.cur.clear();
+            self.cur.resize(n * nb, Block::default());
+            self.prev.clear();
+            self.prev.resize(n * nb, Block::default());
+            let cache = self.cache;
+            if serial(n * genes) || pool.threads() == 1 {
+                for (i, row) in self.cur.chunks_exact_mut(nb).enumerate() {
+                    scores[i] = cache.eval_full(pop.genome(i), row).fitness;
+                }
+            } else {
+                let rows = DisjointSlice::new(&mut self.cur);
+                let slots = DisjointSlice::new(scores);
+                let (rows, slots) = (&rows, &slots);
+                pool.for_each(n, |i| {
+                    // SAFETY: per-index rows are pairwise disjoint and the
+                    // pool claims each index exactly once.
+                    let row = unsafe { rows.slice_mut(i * nb, nb) };
+                    let value = cache.eval_full(pop.genome(i), row);
+                    // SAFETY: sole writer of slot `i` (same claim).
+                    unsafe { slots.write(i, value.fitness) };
+                });
+            }
+            stats.full_evals += n as u64;
+            stats.genes_evaluated += (n * genes) as u64;
+            if mc_obs::is_enabled() {
+                mc_obs::counter("ga.evals", n as u64);
+                mc_obs::counter("ga.genes_evaluated", (n * genes) as u64);
+            }
+            return;
+        };
+
+        // `cur` holds the previous generation's rows (written when that
+        // generation was scored); swap so they become the delta source and
+        // this generation's rows overwrite the older scratch buffer.
+        std::mem::swap(&mut self.cur, &mut self.prev);
+        let cache = self.cache;
+        let (cur, prev_rows) = (&mut self.cur, &self.prev);
+        // Elites first: their rows copy over with their carried scores.
+        for slot in 0..skip {
+            let parent = pg.prov[slot].parent();
+            cur[slot * nb..(slot + 1) * nb]
+                .copy_from_slice(&prev_rows[parent * nb..(parent + 1) * nb]);
+        }
+        let mut delta = 0u64;
+        let mut carried = 0u64;
+        let mut genes_re = 0u64;
+        if serial((n - skip) * genes) || pool.threads() == 1 {
+            for i in skip..n {
+                let pv = pg.prov[i];
+                let parent = pv.parent();
+                let d = cache.eval_delta(
+                    pop.genome(i),
+                    pg.pop.genome(parent),
+                    &prev_rows[parent * nb..(parent + 1) * nb],
+                    &mut cur[i * nb..(i + 1) * nb],
+                    pv.crossover(),
+                    pv.mutation(),
+                );
+                match d.value {
+                    Some(v) => {
+                        scores[i] = v.fitness;
+                        delta += 1;
+                        genes_re += u64::from(d.genes_recomputed);
+                    }
+                    None => {
+                        scores[i] = pg.scores[parent];
+                        carried += 1;
+                    }
+                }
+            }
+        } else {
+            let delta_ct = AtomicU64::new(0);
+            let carried_ct = AtomicU64::new(0);
+            let genes_ct = AtomicU64::new(0);
+            let rows = DisjointSlice::new(cur);
+            let slots = DisjointSlice::new(scores);
+            let (rows, slots) = (&rows, &slots);
+            pool.for_each(n - skip, |j| {
+                let i = skip + j;
+                let pv = pg.prov[i];
+                let parent = pv.parent();
+                // SAFETY: the pool claims each index exactly once and
+                // per-index rows are pairwise disjoint (elite rows below
+                // `skip` are never indexed here).
+                let row = unsafe { rows.slice_mut(i * nb, nb) };
+                let d = cache.eval_delta(
+                    pop.genome(i),
+                    pg.pop.genome(parent),
+                    &prev_rows[parent * nb..(parent + 1) * nb],
+                    row,
+                    pv.crossover(),
+                    pv.mutation(),
+                );
+                match d.value {
+                    Some(v) => {
+                        // SAFETY: sole writer of slot `i` (same claim).
+                        unsafe { slots.write(i, v.fitness) };
+                        delta_ct.fetch_add(1, Ordering::Relaxed);
+                        genes_ct.fetch_add(u64::from(d.genes_recomputed), Ordering::Relaxed);
+                    }
+                    None => {
+                        // SAFETY: sole writer of slot `i` (same claim).
+                        unsafe { slots.write(i, pg.scores[parent]) };
+                        carried_ct.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            delta = delta_ct.into_inner();
+            carried = carried_ct.into_inner();
+            genes_re = genes_ct.into_inner();
+        }
+        stats.delta_evals += delta;
+        stats.carried += carried;
+        stats.genes_evaluated += genes_re;
+        if mc_obs::is_enabled() {
+            mc_obs::counter("ga.evals", delta);
+            mc_obs::counter("ga.delta_evals", delta);
+            mc_obs::counter("ga.carried", carried);
+            mc_obs::counter("ga.genes_evaluated", genes_re);
         }
     }
 }
@@ -607,13 +1009,18 @@ fn tournament<R: Rng + ?Sized>(scores: &[f64], k: usize, rng: &mut R) -> usize {
     winner
 }
 
-/// Two-point crossover: swaps the segment between two cut points.
+/// Two-point crossover: swaps the segment between two cut points and
+/// returns the inclusive `(lo, hi)` span that was exchanged.
 /// Degenerates to a full swap for single-gene chromosomes.
-fn two_point_crossover<R: Rng + ?Sized>(a: &mut [f64], b: &mut [f64], rng: &mut R) {
+fn two_point_crossover<R: Rng + ?Sized>(
+    a: &mut [f64],
+    b: &mut [f64],
+    rng: &mut R,
+) -> (usize, usize) {
     let n = a.len();
     if n == 1 {
         std::mem::swap(&mut a[0], &mut b[0]);
-        return;
+        return (0, 0);
     }
     let mut p1 = rng.random_range(0..n);
     let mut p2 = rng.random_range(0..n);
@@ -623,6 +1030,7 @@ fn two_point_crossover<R: Rng + ?Sized>(a: &mut [f64], b: &mut [f64], rng: &mut 
     for i in p1..=p2 {
         std::mem::swap(&mut a[i], &mut b[i]);
     }
+    (p1, p2)
 }
 
 #[cfg(test)]
@@ -671,6 +1079,20 @@ mod tests {
         .validate()
         .is_err());
         assert!(GaConfig { elitism: 64, ..ok }.validate().is_err());
+    }
+
+    #[test]
+    fn config_deserializes_without_new_knobs() {
+        // Configs serialized before the memo/serial knobs existed must keep
+        // their historical behaviour: memo on, fallback disabled.
+        let cfg: GaConfig = serde_json::from_str(
+            r#"{"population_size":64,"generations":80,"crossover_probability":0.8,
+                "mutation_probability":0.2,"tournament_size":5,"elitism":2,"seed":0}"#,
+        )
+        .unwrap();
+        assert!(!cfg.disable_memo);
+        assert_eq!(cfg.serial_eval_threshold, 0);
+        assert_eq!(cfg.threads, 0);
     }
 
     #[test]
@@ -748,6 +1170,82 @@ mod tests {
     }
 
     #[test]
+    fn memo_and_serial_threshold_are_pure_perf_knobs() {
+        // The memo cache and the auto-serial fallback change evaluation
+        // cost, never values: every knob combination must produce the
+        // byte-identical GaResult.
+        let bounds = [GeneBounds::new(0.0, 1.0).unwrap(); 5];
+        let f = |c: &[f64]| c.iter().map(|x| x * (1.0 - x)).sum::<f64>();
+        let cfg = GaConfig {
+            generations: 20,
+            population_size: 32,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let reference = optimize(&bounds, f, &cfg).unwrap();
+        for disable_memo in [false, true] {
+            for serial_eval_threshold in [0, 1, 8192, usize::MAX] {
+                for threads in [1, 2] {
+                    let cfg = GaConfig {
+                        disable_memo,
+                        serial_eval_threshold,
+                        threads,
+                        ..cfg
+                    };
+                    let r = optimize(&bounds, f, &cfg).unwrap();
+                    assert_eq!(
+                        r, reference,
+                        "memo off={disable_memo} threshold={serial_eval_threshold} \
+                         threads={threads} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_stats_are_consistent() {
+        let bounds = [GeneBounds::new(0.0, 1.0).unwrap(); 4];
+        let f = |c: &[f64]| c.iter().sum::<f64>();
+        let cfg = GaConfig {
+            generations: 15,
+            population_size: 24,
+            threads: 1,
+            ..GaConfig::default()
+        };
+        let (_, stats) = optimize_with_stats(&bounds, f, &cfg).unwrap();
+        // Every considered slot was served exactly one way.
+        assert_eq!(
+            stats.considered,
+            stats.full_evals
+                + stats.delta_evals
+                + stats.carried
+                + stats.memo_hits
+                + stats.batch_dups
+        );
+        // Gen 0 evaluates the whole population; later generations skip
+        // elites.
+        assert_eq!(stats.considered, 24 + 15 * (24 - 2));
+        assert_eq!(stats.genes_total, stats.considered * 4);
+        assert_eq!(stats.genes_evaluated, stats.full_evals * 4);
+        // A converging run must hit the memo at least once.
+        assert!(stats.memo_hits > 0);
+        // The closure path never delta-patches or carries.
+        assert_eq!(stats.delta_evals, 0);
+        assert_eq!(stats.carried, 0);
+
+        let cfg = GaConfig {
+            disable_memo: true,
+            ..cfg
+        };
+        let (_, ablated) = optimize_with_stats(&bounds, f, &cfg).unwrap();
+        // Memo off: every considered slot is a fresh full evaluation.
+        assert_eq!(ablated.considered, ablated.full_evals);
+        assert_eq!(ablated.memo_hits, 0);
+        assert_eq!(ablated.batch_dups, 0);
+    }
+
+    #[test]
     fn best_fitness_is_monotone_over_generations() {
         let bounds = [GeneBounds::new(-5.0, 5.0).unwrap(); 2];
         let r = optimize(
@@ -808,7 +1306,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut a = [1.0];
         let mut b = [2.0];
-        two_point_crossover(&mut a, &mut b, &mut rng);
+        assert_eq!(two_point_crossover(&mut a, &mut b, &mut rng), (0, 0));
         assert_eq!(a[0], 2.0);
         assert_eq!(b[0], 1.0);
     }
@@ -819,10 +1317,14 @@ mod tests {
         for _ in 0..100 {
             let mut a = [1.0, 2.0, 3.0, 4.0, 5.0];
             let mut b = [10.0, 20.0, 30.0, 40.0, 50.0];
-            two_point_crossover(&mut a, &mut b, &mut rng);
+            let (p1, p2) = two_point_crossover(&mut a, &mut b, &mut rng);
+            assert!(p1 <= p2 && p2 < 5);
             for i in 0..5 {
                 let pair = (a[i].min(b[i]), a[i].max(b[i]));
                 assert_eq!(pair, ((i + 1) as f64, ((i + 1) * 10) as f64));
+                // The reported span is exactly the swapped range.
+                let swapped = (p1..=p2).contains(&i);
+                assert_eq!(a[i] > 6.0, swapped, "gene {i}, span ({p1}, {p2})");
             }
         }
     }

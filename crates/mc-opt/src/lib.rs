@@ -8,6 +8,11 @@
 //!   (two-point crossover, single-point mutation, 5-way tournament,
 //!   `p_c = 0.8`, `p_m = 0.2`); the DEAP stand-in.
 //! * [`problem`] — the objective (Eqs. 10–13) over a task set's HC tasks.
+//! * [`incremental`] — the objective's hot-path engine: per-task
+//!   invariants in struct-of-arrays layout, blocked partial reductions for
+//!   delta-fitness (a k-gene change re-folds only the touched blocks, bit
+//!   identical to a full pass), and batch evaluation over flat
+//!   populations.
 //! * [`grid`] — uniform-n sweeps (Figs. 2–3) and exhaustive search used to
 //!   cross-check the GA.
 //!
@@ -30,13 +35,17 @@
 pub mod anneal;
 pub mod ga;
 pub mod grid;
+pub mod incremental;
 pub mod problem;
 
 use mc_task::TaskId;
 use std::error::Error;
 use std::fmt;
 
-pub use ga::{GaConfig, GaResult, GeneBounds};
+pub use ga::{EvalStats, GaConfig, GaResult, GeneBounds};
+pub use incremental::{
+    optimize_incremental, optimize_incremental_with_pool, FlatPopulation, ObjectiveCache,
+};
 pub use problem::{ObjectiveValue, ProblemConfig, Solution, WcetProblem};
 
 /// Errors produced by the optimisation substrate.

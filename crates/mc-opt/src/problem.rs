@@ -8,10 +8,10 @@
 //! Eqs. 11–12. Infeasible HC demand receives zero fitness (death penalty);
 //! Eq. 9 is enforced structurally through the gene bounds (clamp repair).
 
-use crate::ga::{optimize, optimize_with_pool, GaConfig, GaResult, GeneBounds};
+use crate::ga::{GaConfig, GeneBounds};
+use crate::incremental::ObjectiveCache;
+use crate::incremental::{optimize_incremental, optimize_incremental_with_pool, FlatPopulation};
 use crate::OptError;
-use mc_sched::analysis::edf_vd;
-use mc_stats::chebyshev;
 use mc_task::time::Duration;
 use mc_task::{TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
@@ -94,55 +94,21 @@ impl Default for ProblemConfig {
     }
 }
 
-/// Per-task coefficients hoisted out of the objective's hot loop. The GA
-/// evaluates `objective` millions of times per figure, so the loop body
-/// must be multiply-add only: utilisation contributions are stored as
-/// `ACET/T` and `σ/T` (one FMA per task instead of two divisions), and
-/// the Eq. 9 feasibility test is pre-solved for `n` so the loop compares
-/// against a constant instead of recomputing `C_LO`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct ObjectiveCoef {
-    /// `ACET / T`: constant term of the task's LO utilisation.
-    u_acet: f64,
-    /// `σ / T`: per-factor slope of the LO utilisation.
-    u_sigma: f64,
-    /// Largest factor passing Eq. 9's tolerance band
-    /// (`ACET + n·σ ≤ WCET_pes + 1e-6`). `INFINITY` when σ = 0 and the
-    /// ACET already fits; `NEG_INFINITY` when no factor can be feasible.
-    n_max: f64,
-}
-
-impl ObjectiveCoef {
-    fn from_task(t: &HcTaskParams) -> Self {
-        let slack = t.wcet_pes + 1e-6 - t.acet;
-        let n_max = if t.sigma > 0.0 {
-            slack / t.sigma
-        } else if slack >= 0.0 {
-            f64::INFINITY
-        } else {
-            f64::NEG_INFINITY
-        };
-        ObjectiveCoef {
-            u_acet: t.acet / t.period,
-            u_sigma: t.sigma / t.period,
-            n_max,
-        }
-    }
-}
-
 /// The WCET-assignment optimisation problem for one task set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WcetProblem {
     tasks: Vec<HcTaskParams>,
     u_hc_hi: f64,
     config: ProblemConfig,
-    /// Derived hot-loop coefficients — never serialized; rebuilt from
-    /// `tasks` whenever a problem is constructed or deserialized.
-    coefs: Vec<ObjectiveCoef>,
+    /// Derived hot-loop invariants (per-task coefficients in SoA layout
+    /// plus the blocked-reduction machinery — see
+    /// [`crate::incremental`]) — never serialized; rebuilt from `tasks`
+    /// whenever a problem is constructed or deserialized.
+    cache: ObjectiveCache,
 }
 
 /// Wire-format shadow of [`WcetProblem`]: exactly the serialized fields,
-/// so the derived `coefs` never leak into (or get read from) JSON and
+/// so the derived `cache` never leaks into (or gets read from) JSON and
 /// the format stays identical to earlier releases.
 #[derive(Serialize, Deserialize)]
 struct WcetProblemWire {
@@ -175,12 +141,12 @@ impl Deserialize for WcetProblem {
 
 impl WcetProblem {
     fn from_parts(tasks: Vec<HcTaskParams>, u_hc_hi: f64, config: ProblemConfig) -> Self {
-        let coefs = tasks.iter().map(ObjectiveCoef::from_task).collect();
+        let cache = ObjectiveCache::new(&tasks, u_hc_hi);
         WcetProblem {
             tasks,
             u_hc_hi,
             config,
-            coefs,
+            cache,
         }
     }
 
@@ -269,44 +235,40 @@ impl WcetProblem {
             self.tasks.len(),
             "factor vector must have one entry per HC task"
         );
-        self.eval(factors.iter().copied())
+        self.cache.eval_iter(factors.iter().copied())
     }
 
-    /// The shared evaluation loop behind [`WcetProblem::objective`] and
-    /// [`WcetProblem::objective_uniform`]: multiply-add per task against
-    /// the precomputed [`ObjectiveCoef`]s, no allocation, no division.
-    fn eval(&self, factors: impl Iterator<Item = f64>) -> ObjectiveValue {
-        let mut u_hc_lo = 0.0;
-        let mut no_switch = 1.0;
-        let mut feasible = true;
-        for (coef, n) in self.coefs.iter().zip(factors) {
-            // Eq. 9 as a precomputed threshold on `n` (death penalty —
-            // bounds normally repair this already). The finiteness check
-            // also guards the σ = 0 case, where `n_max` is infinite and
-            // an infinite factor would otherwise slip through.
-            if !n.is_finite() || n < 0.0 || n > coef.n_max {
-                feasible = false;
-                break;
-            }
-            u_hc_lo += coef.u_acet + n * coef.u_sigma;
-            no_switch *= 1.0 - chebyshev::one_sided_bound(n);
-        }
-        if !feasible {
-            return ObjectiveValue {
-                p_ms: 1.0,
-                max_u_lc_lo: 0.0,
-                u_hc_lo,
-                fitness: 0.0,
-            };
-        }
-        let p_ms = 1.0 - no_switch;
-        let max_u_lc_lo = edf_vd::max_u_lc_lo(u_hc_lo, self.u_hc_hi);
-        ObjectiveValue {
-            p_ms,
-            max_u_lc_lo,
-            u_hc_lo,
-            fitness: (1.0 - p_ms) * max_u_lc_lo,
-        }
+    /// The precomputed hot-loop invariants behind [`WcetProblem::objective`]
+    /// (per-task SoA coefficients plus blocked partial reductions). Hand
+    /// this to [`optimize_incremental`] or the batch entry points to
+    /// evaluate without going through the problem's convenience wrappers.
+    pub fn objective_cache(&self) -> &ObjectiveCache {
+        &self.cache
+    }
+
+    /// Evaluates the objective for every genome of a flat population in
+    /// one contiguous pass (see [`ObjectiveCache::objective_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on population/output dimension mismatches.
+    pub fn objective_batch(&self, genomes: &FlatPopulation, out: &mut [ObjectiveValue]) {
+        self.cache.objective_batch(genomes, out);
+    }
+
+    /// [`WcetProblem::objective_batch`] fanned out over a worker pool,
+    /// bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on population/output dimension mismatches.
+    pub fn objective_batch_with_pool(
+        &self,
+        pool: &mc_par::WorkerPool,
+        genomes: &FlatPopulation,
+        out: &mut [ObjectiveValue],
+    ) {
+        self.cache.objective_batch_with_pool(pool, genomes, out);
     }
 
     /// Evaluates the objective at a single uniform factor (Fig. 2/3 mode).
@@ -314,7 +276,8 @@ impl WcetProblem {
     /// factor vector — the sweep binaries call this in a tight loop.
     pub fn objective_uniform(&self, n: f64) -> ObjectiveValue {
         let cap = self.config.factor_cap;
-        self.eval(self.tasks.iter().map(|t| n.min(t.max_factor()).min(cap)))
+        self.cache
+            .eval_iter(self.tasks.iter().map(|t| n.min(t.max_factor()).min(cap)))
     }
 
     /// Solves for per-task factors with the genetic algorithm.
@@ -330,7 +293,7 @@ impl WcetProblem {
             return Ok(Self::trivial_solution());
         }
         let bounds = self.bounds()?;
-        let result: GaResult = optimize(&bounds, |c| self.objective(c).fitness, cfg)?;
+        let (result, _stats) = optimize_incremental(&self.cache, &bounds, cfg)?;
         let objective = self.objective(&result.best);
         Ok(Solution {
             factors: result.best,
@@ -354,8 +317,7 @@ impl WcetProblem {
             return Ok(Self::trivial_solution());
         }
         let bounds = self.bounds()?;
-        let result: GaResult =
-            optimize_with_pool(&bounds, |c| self.objective(c).fitness, cfg, pool)?;
+        let (result, _stats) = optimize_incremental_with_pool(&self.cache, &bounds, cfg, pool)?;
         let objective = self.objective(&result.best);
         Ok(Solution {
             factors: result.best,

@@ -48,6 +48,112 @@ use std::thread::JoinHandle;
 /// misconfigured `threads` knob spawning an absurd number of OS threads.
 pub const MAX_THREADS: usize = 1024;
 
+/// A shared view of a mutable slice for caller-proven disjoint writes.
+///
+/// [`WorkerPool::for_each`] hands every index to exactly one thread, which
+/// makes "each thread writes its own slots" sound — but the borrow checker
+/// cannot see that, so parallel scatter-writes need a raw-pointer escape
+/// hatch. `DisjointSlice` packages that escape hatch once, with the
+/// obligations spelled out, instead of each call site re-deriving its own
+/// `*mut T` wrapper.
+///
+/// The wrapper borrows the slice mutably for `'a`, so no other access to
+/// the underlying data can exist while it is alive; the only aliasing risk
+/// left is between concurrent [`write`](Self::write) /
+/// [`slice_mut`](Self::slice_mut) calls, which the caller rules out by
+/// construction (distinct indices / disjoint ranges — exactly what the
+/// pool's one-thread-per-index contract provides).
+///
+/// ```
+/// use mc_par::{DisjointSlice, WorkerPool};
+///
+/// let pool = WorkerPool::new(4);
+/// let mut out = vec![0u64; 128];
+/// let slots = DisjointSlice::new(&mut out);
+/// pool.for_each(slots.len(), |i| {
+///     // SAFETY: the pool claims each index exactly once, so no two
+///     // threads ever write the same slot.
+///     unsafe { slots.write(i, (i as u64) * 3) };
+/// });
+/// assert_eq!(out[100], 300);
+/// ```
+pub struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _borrow: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: sharing the wrapper across threads only enables `unsafe` writes
+// whose disjointness the caller must prove; `T: Send` ensures the values
+// themselves may be constructed on one thread and dropped on another.
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+// SAFETY: the wrapper owns a unique borrow of the slice; moving that
+// borrow to another thread is safe for `T: Send` (same rule as `&mut [T]`).
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+
+impl<'a, T: Send> DisjointSlice<'a, T> {
+    /// Wraps `slice` for disjoint parallel writes. The slice stays
+    /// exclusively borrowed until the wrapper is dropped.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _borrow: std::marker::PhantomData,
+        }
+    }
+
+    /// Length of the wrapped slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` into slot `idx`, dropping the previous value in
+    /// place. Out-of-bounds indices panic.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access slot `idx` (the usual
+    /// pattern: `idx` comes off a [`WorkerPool`] dispatch, which claims
+    /// each index exactly once).
+    // SAFETY: obligations are on the caller, stated in `# Safety` above.
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        assert!(idx < self.len, "index {idx} out of bounds ({})", self.len);
+        // SAFETY: bounds just checked; exclusivity of the slot is the
+        // caller's contract; the previous value is initialised (the
+        // wrapper was built from a live slice), so plain assignment drops
+        // it correctly.
+        unsafe { *self.ptr.add(idx) = value };
+    }
+
+    /// Reborrows `len` slots starting at `start` as a mutable subslice.
+    /// Out-of-bounds ranges panic.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access any slot in
+    /// `start..start + len` — concurrent callers must hold ranges that are
+    /// pairwise disjoint (e.g. per-index rows of a flattened matrix).
+    // SAFETY: obligations are on the caller, stated in `# Safety` above.
+    #[allow(clippy::mut_from_ref)] // the shared-ref-to-mut escape is the point
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start <= self.len && len <= self.len - start,
+            "range {start}..{} out of bounds ({})",
+            start + len,
+            self.len
+        );
+        // SAFETY: bounds just checked; the caller guarantees no concurrent
+        // access to this range, so a unique reborrow is sound for as long
+        // as the wrapper's borrow of the underlying slice.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+}
+
 /// An explicit thread budget for one layer of parallelism.
 ///
 /// A budget is the *total* number of threads a computation may occupy,
@@ -413,22 +519,13 @@ impl WorkerPool {
             }
             return;
         }
-        struct Slots<T>(*mut T);
-        // SAFETY: each index is claimed exactly once (atomic cursor), so
-        // concurrent writers never alias the same slot; `T: Send` lets a
-        // worker construct and drop-in-place values for the caller.
-        unsafe impl<T: Send> Sync for Slots<T> {}
-        let slots = Slots(out.as_mut_ptr());
-        // Capture the wrapper by reference (not its raw-pointer field,
-        // which edition-2021 disjoint capture would otherwise pull out
-        // and which is not `Sync` on its own).
+        let slots = DisjointSlice::new(out);
         let slots = &slots;
-        self.for_each(out.len(), |i| {
+        self.for_each(slots.len(), |i| {
             let value = f(i);
-            // SAFETY: `i < out.len()` and this thread is the sole writer
-            // of slot `i`; assignment drops the previous (initialised)
-            // value in place.
-            unsafe { *slots.0.add(i) = value };
+            // SAFETY: `for_each` hands each index to exactly one thread,
+            // so this thread is the sole writer of slot `i`.
+            unsafe { slots.write(i, value) };
         });
     }
 }
@@ -598,6 +695,64 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn disjoint_slice_row_writes_match_serial() {
+        // Each index owns a 4-slot row; parallel row writes must produce
+        // exactly the serial result for any thread count.
+        const ROW: usize = 4;
+        let rows = 301usize;
+        let fill_row = |i: usize, row: &mut [u64]| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = (i * ROW + j) as u64 * 7;
+            }
+        };
+        let mut reference = vec![0u64; rows * ROW];
+        for i in 0..rows {
+            fill_row(i, &mut reference[i * ROW..(i + 1) * ROW]);
+        }
+        for threads in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(threads);
+            let mut out = vec![0u64; rows * ROW];
+            let slots = DisjointSlice::new(&mut out);
+            pool.for_each(rows, |i| {
+                // SAFETY: rows are disjoint per index and each index is
+                // claimed by exactly one thread.
+                let row = unsafe { slots.slice_mut(i * ROW, ROW) };
+                fill_row(i, row);
+            });
+            assert_eq!(out, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn disjoint_slice_drops_previous_values() {
+        let mut data = vec![String::from("old"); 8];
+        let slots = DisjointSlice::new(&mut data);
+        for i in 0..slots.len() {
+            // SAFETY: single-threaded, each index written once.
+            unsafe { slots.write(i, format!("new-{i}")) };
+        }
+        assert_eq!(data[3], "new-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn disjoint_slice_bounds_checked() {
+        let mut data = [0u8; 4];
+        let slots = DisjointSlice::new(&mut data);
+        // SAFETY: single-threaded; the call must panic on bounds, not UB.
+        unsafe { slots.write(4, 1) };
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn disjoint_slice_range_bounds_checked() {
+        let mut data = [0u8; 4];
+        let slots = DisjointSlice::new(&mut data);
+        // SAFETY: single-threaded; the call must panic on bounds, not UB.
+        let _ = unsafe { slots.slice_mut(2, 3) };
     }
 
     #[test]
