@@ -88,6 +88,61 @@ pub fn build(name: &str, opts: &CatalogOptions) -> Result<Campaign, ExpError> {
     }
 }
 
+/// Rebuilds the runner for a spec received from elsewhere (a store header,
+/// a coordinator lease): recovers the [`CatalogOptions`] the spec encodes,
+/// rebuilds the named campaign, and verifies the result is fingerprint-
+/// identical to what was received — so a worker computing against a
+/// rebuilt runner provably runs the *same* campaign the submitter
+/// declared, not a near-miss with different axis values.
+///
+/// # Errors
+///
+/// [`ExpError::Config`] for unknown names, and [`ExpError::Mismatch`] when
+/// the rebuilt spec disagrees with the received one (a spec produced by a
+/// different catalog version, or hand-edited points this catalog cannot
+/// reproduce).
+pub fn rebuild(spec: &CampaignSpec) -> Result<Campaign, ExpError> {
+    let mut opts = CatalogOptions {
+        seed: Some(spec.seed),
+        ..CatalogOptions::default()
+    };
+    match spec.name.as_str() {
+        "fig5" => {
+            opts.sets = Some(spec.replicas);
+            // Points are policy-major; the utilisation axis repeats per
+            // policy, so the policy-0 block recovers it exactly.
+            let u_values: Vec<f64> = spec
+                .points
+                .iter()
+                .filter(|p| p.param("policy") == Some(0.0))
+                .filter_map(|p| p.param("u"))
+                .collect();
+            if !u_values.is_empty() {
+                opts.points = Some(u_values);
+            }
+        }
+        "table2" => {
+            if let Some(samples) = spec.params.iter().find(|p| p.name == "samples") {
+                opts.samples = Some(samples.value as usize);
+            }
+        }
+        _ => {}
+    }
+    let campaign = build(&spec.name, &opts)?;
+    if campaign.spec != *spec {
+        return Err(ExpError::Mismatch {
+            path: format!("campaign:{}", spec.name),
+            detail: format!(
+                "spec fingerprint {} cannot be rebuilt from this catalog \
+                 (rebuilt {})",
+                spec.fingerprint(),
+                campaign.spec.fingerprint()
+            ),
+        });
+    }
+    Ok(campaign)
+}
+
 /// The Fig. 5 policy roster: the GA scheme, the paper's λ baselines, ACET.
 #[must_use]
 pub fn fig5_policies() -> Vec<WcetPolicy> {
@@ -322,6 +377,57 @@ mod tests {
     fn unknown_campaigns_name_the_known_ones() {
         let err = build("fig6", &CatalogOptions::default()).unwrap_err();
         assert!(err.to_string().contains("fig5"), "{err}");
+    }
+
+    #[test]
+    fn rebuild_round_trips_every_catalog_campaign() {
+        let cases: Vec<(&str, CatalogOptions)> = vec![
+            (
+                "fig5",
+                CatalogOptions {
+                    sets: Some(3),
+                    points: Some(vec![0.5, 0.7]),
+                    seed: Some(42),
+                    ..CatalogOptions::default()
+                },
+            ),
+            (
+                "table2",
+                CatalogOptions {
+                    samples: Some(400),
+                    ..CatalogOptions::default()
+                },
+            ),
+            ("ablation_sigma", CatalogOptions::default()),
+        ];
+        for (name, opts) in cases {
+            let original = build(name, &opts).unwrap();
+            let rebuilt = rebuild(&original.spec).unwrap();
+            assert_eq!(rebuilt.spec, original.spec, "{name}");
+            assert_eq!(
+                rebuilt.spec.fingerprint(),
+                original.spec.fingerprint(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebuild_rejects_tampered_and_unknown_specs() {
+        let mut spec = build("ablation_sigma", &CatalogOptions::default())
+            .unwrap()
+            .spec;
+        spec.points[0].label = "m11".into();
+        assert!(matches!(
+            rebuild(&spec).unwrap_err(),
+            ExpError::Mismatch { .. }
+        ));
+        let mut unknown = spec;
+        unknown.name = "fig6".into();
+        assert!(matches!(
+            rebuild(&unknown).unwrap_err(),
+            ExpError::Config(_)
+        ));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   through seed-derived crash/resume/merge interleavings on a simulated
 //!   disk (`mc_fault::SimDisk`), asserting the crash invariant and
 //!   canonical byte identity (`chebymc fault sweep`).
+//! * [`accounting`] — shared completion arithmetic (points complete,
+//!   per-shard progress) used by the runner, `chebymc exp status`, and
+//!   the mc-serve coordinator's lease table.
 //! * [`progress`] — the throttled stderr progress/ETA reporter.
 //! * [`aggregate`] — per-point means (in replica order, preserving the
 //!   legacy f64 summation order) and CSV export.
@@ -32,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod aggregate;
 pub mod catalog;
 pub mod fault;
@@ -40,6 +44,7 @@ pub mod run;
 pub mod spec;
 pub mod store;
 
+pub use accounting::{points_complete, shard_progress, ShardProgress};
 pub use aggregate::{aggregate, export_points_csv, export_units_csv, PointAggregate};
 pub use catalog::{Campaign, CatalogOptions};
 pub use fault::{sweep, Sabotage, SweepConfig, SweepReport, Violation};

@@ -141,7 +141,8 @@ impl Sink<'_> {
                 return false;
             }
             self.next += 1;
-            let points_done = points_complete(spec, self.store);
+            let points_done =
+                crate::accounting::points_complete(spec, |u| self.store.is_complete(u));
             self.progress
                 .unit_done(self.store.completed_count(), points_done);
         }
@@ -153,13 +154,6 @@ impl Sink<'_> {
             self.error = Some(e);
         }
     }
-}
-
-/// Number of axis points whose every replica is in the store.
-fn points_complete(spec: &CampaignSpec, store: &Store) -> usize {
-    (0..spec.points.len())
-        .filter(|&p| (0..spec.replicas).all(|r| store.is_complete(p * spec.replicas + r)))
-        .count()
 }
 
 /// Runs (this shard of) a campaign: lints the spec, skips units the store

@@ -281,6 +281,30 @@ impl Store {
         self.path.as_deref()
     }
 
+    /// Classifies `record` against what the store already holds for its
+    /// unit: `Ok(false)` means the unit is new, `Ok(true)` means an
+    /// identical record is already present (a benign duplicate), and a
+    /// conflicting payload for the same unit is an error — the shared
+    /// judgement behind [`Store::append_dedup`] and [`Store::merge`].
+    fn duplicate_of(&self, record: &UnitRecord) -> Result<bool, ExpError> {
+        if !self.completed.contains(&record.unit) {
+            return Ok(false);
+        }
+        let existing = self
+            .records
+            .iter()
+            .find(|m| m.unit == record.unit)
+            .expect("completed implies a record");
+        if existing == record {
+            Ok(true)
+        } else {
+            Err(ExpError::Store {
+                path: self.label.clone(),
+                detail: format!("unit {} has conflicting records", record.unit),
+            })
+        }
+    }
+
     /// Appends one record: validates it against the spec, writes its line,
     /// and `fsync`s before returning — once this returns `Ok`, the unit
     /// survives any crash.
@@ -326,6 +350,25 @@ impl Store {
         Ok(())
     }
 
+    /// [`Store::append`] with at-least-once semantics: an identical record
+    /// for an already-complete unit is silently skipped (`Ok(false)`), a
+    /// *conflicting* record for it is an error, and a new unit appends as
+    /// usual (`Ok(true)`). This is what lets a coordinator accept lease
+    /// redeliveries — a reclaimed-and-reassigned shard may legally resend
+    /// units its dead first owner already committed.
+    ///
+    /// # Errors
+    ///
+    /// Conflicting duplicates, out-of-contract records, and I/O failures.
+    pub fn append_dedup(&mut self, record: UnitRecord) -> Result<bool, ExpError> {
+        validate_record(&record, &self.header.spec, &self.label)?;
+        if self.duplicate_of(&record)? {
+            return Ok(false);
+        }
+        self.append(record)?;
+        Ok(true)
+    }
+
     /// The store's canonical text: the header line followed by every
     /// record sorted by unit index. Two stores of the same campaign with
     /// the same completed units render identically — the byte-identity
@@ -359,24 +402,22 @@ impl Store {
             let display = s.label.clone();
             check_header(&s.header, first.spec(), &display)?;
             for r in &s.records {
-                if merged.completed.contains(&r.unit) {
-                    let existing = merged
-                        .records
-                        .iter()
-                        .find(|m| m.unit == r.unit)
-                        .expect("completed implies a record");
-                    if existing != r {
+                // Re-attribute conflicts to the store being folded in, not
+                // the in-memory accumulator — the user needs to know which
+                // input file disagrees.
+                match merged.duplicate_of(r) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        merged.completed.insert(r.unit);
+                        merged.records.push(r.clone());
+                    }
+                    Err(ExpError::Store { detail, .. }) => {
                         return Err(ExpError::Store {
                             path: display,
-                            detail: format!(
-                                "unit {} has conflicting records across stores",
-                                r.unit
-                            ),
+                            detail: format!("{detail} across stores"),
                         });
                     }
-                } else {
-                    merged.completed.insert(r.unit);
-                    merged.records.push(r.clone());
+                    Err(e) => return Err(e),
                 }
             }
         }
@@ -804,6 +845,23 @@ mod tests {
             Store::merge(&[c, d]).unwrap_err(),
             ExpError::Store { .. }
         ));
+    }
+
+    #[test]
+    fn append_dedup_skips_identical_and_rejects_conflicts() {
+        let s = spec();
+        let mut store = Store::in_memory(&s);
+        assert!(store.append_dedup(record(&s, 0, 0.1)).unwrap());
+        // At-least-once redelivery of the same unit is a no-op...
+        assert!(!store.append_dedup(record(&s, 0, 0.1)).unwrap());
+        assert_eq!(store.records().len(), 1);
+        // ...but a different payload for the same unit is corruption.
+        let err = store.append_dedup(record(&s, 0, 0.9)).unwrap_err();
+        assert!(err.to_string().contains("conflicting records"), "{err}");
+        // Contract validation still runs before the dedup decision.
+        let mut bad = record(&s, 1, 0.2);
+        bad.seed ^= 1;
+        assert!(store.append_dedup(bad).is_err());
     }
 
     #[test]

@@ -19,18 +19,23 @@
 //! * [`gen`] — generators for task sets, campaign shapes, and
 //!   execution-time traces, consumed by the differential-oracle suites
 //!   in `mc-sched`, `mc-stats`, and `mc-exp`.
+//! * [`cluster`] — seed-derived process-death plans (which workers die
+//!   after how many records, whether the coordinator is killed) for the
+//!   mc-serve in-process cluster harness.
 //!
 //! DESIGN.md §12 documents the fault-schedule encoding and the
 //! reproduce-from-seed workflow (`chebymc fault sweep --seed N`).
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod gen;
 pub mod io;
 pub mod prop;
 pub mod rng;
 pub mod schedule;
 
+pub use cluster::{cluster_plan, ClusterPlan};
 pub use io::{FaultStats, RealFile, SimDisk, SimFile, StoreIo};
 pub use prop::{assert_prop, check, Counterexample, PropConfig, Shrink};
 pub use rng::{mix64, FaultRng};

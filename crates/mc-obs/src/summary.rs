@@ -330,11 +330,20 @@ impl TraceSummary {
         })
     }
 
+    /// Whether the trace carries campaign-service (`serve.*`)
+    /// instrumentation from `chebymc serve` or `chebymc worker`.
+    #[must_use]
+    pub fn has_serve_events(&self) -> bool {
+        self.spans.iter().any(|s| s.name.starts_with("serve."))
+            || self.counters.iter().any(|c| c.name.starts_with("serve."))
+    }
+
     /// Renders the human-readable per-stage breakdown.
     ///
     /// `%wall` is each span's total time against the trace's wall-clock
     /// extent; spans running concurrently on several threads can exceed
-    /// 100%.
+    /// 100%. Traces from the campaign service additionally get a
+    /// coordinator-health digest of the `serve.*` events.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -388,6 +397,26 @@ impl TraceSummary {
                     "  {:<24} count {:>7}  last {:.6}  mean {:.6}  min {:.6}  max {:.6}",
                     v.name, v.count, v.last, v.mean, v.min, v.max
                 );
+            }
+        }
+        if self.has_serve_events() {
+            let _ = writeln!(out, "\ncoordinator health (serve.*):");
+            for (label, total) in [
+                ("records accepted", self.counter_total("serve.records")),
+                (
+                    "duplicates absorbed",
+                    self.counter_total("serve.duplicates"),
+                ),
+                (
+                    "heartbeats received",
+                    self.counter_total("serve.heartbeats"),
+                ),
+                ("leases reclaimed", self.counter_total("serve.reclaims")),
+                ("lease assignments", self.span_count("serve.assign")),
+                ("lease sessions run", self.span_count("serve.lease")),
+                ("records streamed", self.counter_total("serve.sent")),
+            ] {
+                let _ = writeln!(out, "  {label:<24} {total:>14}");
             }
         }
         if !self.hists.is_empty() {
@@ -693,6 +722,32 @@ mod tests {
                 text.contains(needle),
                 "render output misses {needle:?}:\n{text}"
             );
+        }
+    }
+
+    #[test]
+    fn serve_traces_get_a_coordinator_health_digest() {
+        let plain = TraceSummary::parse(SAMPLE).unwrap();
+        assert!(!plain.has_serve_events());
+        assert!(!plain.render().contains("coordinator health"));
+
+        let serve_trace = concat!(
+            "{\"k\":\"meta\",\"schema\":1}\n",
+            "{\"k\":\"span\",\"name\":\"serve.assign\",\"tid\":0,\"t0\":10,\"t1\":20}\n",
+            "{\"k\":\"ctr\",\"name\":\"serve.records\",\"tid\":0,\"n\":25}\n",
+            "{\"k\":\"ctr\",\"name\":\"serve.duplicates\",\"tid\":0,\"n\":3}\n",
+            "{\"k\":\"ctr\",\"name\":\"serve.reclaims\",\"tid\":0,\"n\":1}\n",
+        );
+        let s = TraceSummary::parse(serve_trace).unwrap();
+        assert!(s.has_serve_events());
+        let text = s.render();
+        for needle in [
+            "coordinator health (serve.*):",
+            "records accepted",
+            "duplicates absorbed",
+            "leases reclaimed",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?}:\n{text}");
         }
     }
 

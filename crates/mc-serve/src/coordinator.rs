@@ -1,0 +1,748 @@
+//! The coordinator: a std-only TCP service that owns one campaign at a
+//! time, fans its leases out to workers, and checkpoints every accepted
+//! record through the crash-safe mc-exp store.
+//!
+//! Concurrency shape: one accept loop ([`Coordinator::run`]), one reader
+//! thread per connection, one sweeper thread for heartbeat timeouts. All
+//! shared state — the worker registry, the lease table, the checkpoint
+//! store — lives in a single `Mutex<Hub>`; every protocol event takes the
+//! lock, mutates, and releases. Frames are small and loopback/LAN-sized,
+//! so writing to a worker under the lock is cheap and keeps the state
+//! machine single-threaded in effect (which is what makes the failover
+//! tests deterministic).
+//!
+//! Liveness is wall-clock by necessity (heartbeat timeouts cannot be
+//! seed-derived); everything else — which units exist, what a lease owns,
+//! when the campaign is complete — is decided against the store, never
+//! against timing.
+
+use crate::lease::LeaseTable;
+use crate::wire::{read_frame, write_frame, Message};
+use crate::ServeError;
+use mc_exp::accounting::one_shard_progress;
+use mc_exp::run::Shard;
+use mc_exp::store::ResumeInfo;
+use mc_exp::{CampaignSpec, ExpError, Store, UnitRecord};
+use std::collections::BTreeMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Opens (or resumes) the checkpoint store for an accepted campaign. The
+/// CLI maps specs to files; the in-process cluster harness hands out
+/// simulated disks.
+pub type StoreOpener =
+    Box<dyn FnMut(&CampaignSpec) -> Result<(Store, ResumeInfo), ExpError> + Send>;
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Listen address (`127.0.0.1:0` binds an ephemeral port).
+    pub listen: String,
+    /// Leases (stripes) per campaign; clamped to the unit count.
+    pub leases: usize,
+    /// A worker silent for longer than this has its lease reclaimed.
+    pub heartbeat_timeout: Duration,
+    /// Test knob: simulate a coordinator crash (close every socket, stop
+    /// accepting, return from `run`) after accepting this many new
+    /// records. `None` in production.
+    pub die_after_records: Option<u64>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            listen: "127.0.0.1:0".into(),
+            leases: 4,
+            heartbeat_timeout: Duration::from_secs(5),
+            die_after_records: None,
+        }
+    }
+}
+
+/// What one [`Coordinator::run`] session did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Whether the campaign completed (every unit in the store).
+    pub completed: bool,
+    /// Whether the session ended via the simulated-crash knob.
+    pub killed: bool,
+    /// New records accepted this session.
+    pub records: u64,
+    /// Benign duplicate redeliveries skipped this session.
+    pub duplicates: u64,
+    /// Leases reclaimed from dead or silent workers.
+    pub reclaims: u64,
+    /// Total units of the campaign (0 if none was ever activated).
+    pub total_units: usize,
+    /// Units complete in the store when the session ended.
+    pub completed_units: usize,
+}
+
+struct WorkerHandle {
+    stream: TcpStream,
+    last_seen: Instant,
+    lease: Option<usize>,
+}
+
+struct Active {
+    spec: CampaignSpec,
+    store: Store,
+    leases: LeaseTable,
+}
+
+struct Hub {
+    opener: StoreOpener,
+    workers: BTreeMap<u64, WorkerHandle>,
+    next_worker_id: u64,
+    campaign: Option<Active>,
+    records: u64,
+    duplicates: u64,
+    reclaims: u64,
+    completed: bool,
+    killed: bool,
+    error: Option<ServeError>,
+}
+
+struct Inner {
+    cfg: CoordinatorConfig,
+    addr: SocketAddr,
+    hub: Mutex<Hub>,
+    /// Once set, the accept loop, readers, and sweeper all wind down.
+    stopping: AtomicBool,
+}
+
+/// The campaign coordinator. Bind, optionally preload a campaign, then
+/// [`Coordinator::run`] until completion or simulated crash.
+pub struct Coordinator {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Coordinator {
+    /// Binds the listen socket. No connections are accepted until
+    /// [`Coordinator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(cfg: CoordinatorConfig, opener: StoreOpener) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            cfg,
+            addr,
+            hub: Mutex::new(Hub {
+                opener,
+                workers: BTreeMap::new(),
+                next_worker_id: 0,
+                campaign: None,
+                records: 0,
+                duplicates: 0,
+                reclaims: 0,
+                completed: false,
+                killed: false,
+                error: None,
+            }),
+            stopping: AtomicBool::new(false),
+        });
+        Ok(Coordinator { listener, inner })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Activates a campaign locally (the CLI path; remote clients use
+    /// [`crate::wire::submit`]). Returns `(total_units, already_complete)`.
+    ///
+    /// # Errors
+    ///
+    /// Store failures, or a different campaign already active.
+    pub fn preload(&self, spec: &CampaignSpec) -> Result<(usize, usize), ServeError> {
+        let mut hub = self.inner.lock_hub();
+        let accepted = hub.activate(spec, &self.inner.cfg)?;
+        hub.assign_idle();
+        if hub.campaign_complete() {
+            hub.finish();
+            self.inner.stopping.store(true, Ordering::SeqCst);
+        }
+        Ok(accepted)
+    }
+
+    /// Serves until the campaign completes, the crash knob fires, or a
+    /// store error makes continuing unsound.
+    ///
+    /// # Errors
+    ///
+    /// Fatal store errors (conflicting records, checkpoint I/O failures).
+    /// Worker churn is not an error — that is the point of the service.
+    pub fn run(&self) -> Result<ServeOutcome, ServeError> {
+        let inner = Arc::clone(&self.inner);
+        let sweeper = std::thread::spawn(move || inner.sweep_loop());
+        // Check `stopping` before each accept: a preloaded, already-
+        // complete campaign must return without waiting for a connection.
+        while !self.inner.stopping.load(Ordering::SeqCst) {
+            let Ok((stream, _peer)) = self.listener.accept() else {
+                continue;
+            };
+            if self.inner.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let _ = stream.set_nodelay(true);
+            let inner = Arc::clone(&self.inner);
+            std::thread::spawn(move || inner.serve_conn(stream));
+        }
+        self.inner.stopping.store(true, Ordering::SeqCst);
+        let _ = sweeper.join();
+        let mut hub = self.inner.lock_hub();
+        // A clean completion leaves no sockets behind; a crash already
+        // slammed them shut.
+        let outcome = ServeOutcome {
+            completed: hub.completed,
+            killed: hub.killed,
+            records: hub.records,
+            duplicates: hub.duplicates,
+            reclaims: hub.reclaims,
+            total_units: hub.campaign.as_ref().map_or(0, |a| a.spec.total_units()),
+            completed_units: hub
+                .campaign
+                .as_ref()
+                .map_or(0, |a| a.store.completed_count()),
+        };
+        match hub.error.take() {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+
+    /// The canonical text of the checkpoint store (header + records
+    /// sorted by unit) — the merged result once the outcome says
+    /// `completed`.
+    #[must_use]
+    pub fn canonical_lines(&self) -> Option<String> {
+        let hub = self.inner.lock_hub();
+        hub.campaign.as_ref().map(|a| a.store.canonical_lines())
+    }
+}
+
+impl Inner {
+    fn lock_hub(&self) -> std::sync::MutexGuard<'_, Hub> {
+        self.hub.lock().expect("coordinator hub poisoned")
+    }
+
+    /// Wakes the accept loop so it observes `stopping`.
+    fn poke(&self) {
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    fn stop(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        self.poke();
+    }
+
+    /// The heartbeat sweeper: reclaims leases of workers that went
+    /// silent without their connection dying (a hung process, a dropped
+    /// network — the failure EOF detection cannot see).
+    fn sweep_loop(&self) {
+        let interval = (self.cfg.heartbeat_timeout / 4).max(Duration::from_millis(5));
+        while !self.stopping.load(Ordering::SeqCst) {
+            std::thread::sleep(interval);
+            let mut hub = self.lock_hub();
+            let timeout = self.cfg.heartbeat_timeout;
+            let silent: Vec<u64> = hub
+                .workers
+                .iter()
+                .filter(|(_, w)| w.last_seen.elapsed() > timeout)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in silent {
+                hub.drop_worker(id, "heartbeat timeout");
+            }
+        }
+    }
+
+    /// One connection's read loop. A connection is anonymous until its
+    /// `Hello` (submissions never register); after that, its death —
+    /// clean EOF, reset, or protocol garbage — drops the worker and
+    /// reclaims its lease.
+    fn serve_conn(&self, stream: TcpStream) {
+        let Ok(mut reader) = stream.try_clone() else {
+            return;
+        };
+        let mut worker_id: Option<u64> = None;
+        while let Ok(Some(msg)) = read_frame(&mut reader) {
+            if !self.handle(msg, &mut worker_id, &stream) {
+                break;
+            }
+        }
+        if let Some(id) = worker_id {
+            self.lock_hub().drop_worker(id, "connection closed");
+        }
+    }
+
+    /// Dispatches one frame. Returns `false` to close the connection.
+    fn handle(&self, msg: Message, worker_id: &mut Option<u64>, reply: &TcpStream) -> bool {
+        let mut hub = self.lock_hub();
+        if self.stopping.load(Ordering::SeqCst) {
+            return false;
+        }
+        match msg {
+            Message::Hello { .. } => {
+                let Ok(writer) = reply.try_clone() else {
+                    return false;
+                };
+                let id = hub.next_worker_id;
+                hub.next_worker_id += 1;
+                hub.workers.insert(
+                    id,
+                    WorkerHandle {
+                        stream: writer,
+                        last_seen: Instant::now(),
+                        lease: None,
+                    },
+                );
+                *worker_id = Some(id);
+                let ok = hub.send_to(id, &Message::Welcome { worker_id: id });
+                if ok {
+                    hub.try_assign(id);
+                }
+                ok
+            }
+            Message::Heartbeat => {
+                mc_obs::counter("serve.heartbeats", 1);
+                if let Some(id) = *worker_id {
+                    if let Some(w) = hub.workers.get_mut(&id) {
+                        w.last_seen = Instant::now();
+                    }
+                }
+                true
+            }
+            Message::Submit { spec } => {
+                let response = match hub.activate(&spec, &self.cfg) {
+                    Ok((total_units, completed)) => Message::Accepted {
+                        fingerprint: spec.fingerprint(),
+                        total_units,
+                        completed,
+                    },
+                    Err(e) => Message::Rejected {
+                        reason: e.to_string(),
+                    },
+                };
+                let mut writer = reply;
+                let _ = write_frame(&mut writer, &response);
+                hub.assign_idle();
+                if hub.campaign_complete() {
+                    hub.finish();
+                    drop(hub);
+                    self.stop();
+                    return false;
+                }
+                true
+            }
+            Message::Record { lease, record } => {
+                let Some(id) = *worker_id else { return false };
+                if let Some(w) = hub.workers.get_mut(&id) {
+                    w.last_seen = Instant::now();
+                }
+                match hub.accept_record(lease, record) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        // A conflicting or unappendable record poisons the
+                        // campaign: stop serving rather than commit a store
+                        // two workers disagree about.
+                        hub.error = Some(e);
+                        hub.slam_connections();
+                        drop(hub);
+                        self.stop();
+                        return false;
+                    }
+                }
+                if let Some(limit) = self.cfg.die_after_records {
+                    if hub.records >= limit {
+                        // Simulated SIGKILL: no goodbyes, no flushing —
+                        // every socket is slammed shut and `run` returns
+                        // with `killed`.
+                        hub.killed = true;
+                        hub.slam_connections();
+                        drop(hub);
+                        self.stop();
+                        return false;
+                    }
+                }
+                if hub.campaign_complete() {
+                    hub.finish();
+                    drop(hub);
+                    self.stop();
+                    return false;
+                }
+                true
+            }
+            Message::LeaseDone { lease } => {
+                let Some(id) = *worker_id else { return false };
+                hub.lease_done(id, lease as usize);
+                if hub.campaign_complete() {
+                    hub.finish();
+                    drop(hub);
+                    self.stop();
+                    return false;
+                }
+                true
+            }
+            // Only workers send the remaining variants; a peer that sends
+            // coordinator-side messages is out of protocol.
+            Message::Welcome { .. }
+            | Message::Accepted { .. }
+            | Message::Rejected { .. }
+            | Message::Assign { .. }
+            | Message::Shutdown => false,
+        }
+    }
+}
+
+impl Hub {
+    /// Accepts `spec` as the active campaign (idempotent for the same
+    /// fingerprint — resubmission after a coordinator restart is the
+    /// resume path). Returns `(total_units, already_complete)`.
+    fn activate(
+        &mut self,
+        spec: &CampaignSpec,
+        cfg: &CoordinatorConfig,
+    ) -> Result<(usize, usize), ServeError> {
+        if let Some(active) = &self.campaign {
+            return if active.spec == *spec {
+                Ok((spec.total_units(), active.store.completed_count()))
+            } else {
+                Err(ServeError::Rejected(format!(
+                    "campaign {} is already active",
+                    active.spec.name
+                )))
+            };
+        }
+        let (store, _info) = (self.opener)(spec)?;
+        if store.spec() != spec {
+            return Err(ServeError::Rejected(
+                "checkpoint store belongs to a different campaign".into(),
+            ));
+        }
+        let total = spec.total_units();
+        let mut leases = LeaseTable::new(cfg.leases.clamp(1, total.max(1)));
+        for lease in 0..leases.count() {
+            let shard = Shard {
+                index: lease,
+                count: leases.count(),
+            };
+            if one_shard_progress(total, shard, |u| store.is_complete(u)).is_complete() {
+                leases.complete(lease);
+            }
+        }
+        let completed = store.completed_count();
+        self.campaign = Some(Active {
+            spec: spec.clone(),
+            store,
+            leases,
+        });
+        Ok((total, completed))
+    }
+
+    /// Appends a worker's record to the checkpoint, tolerating benign
+    /// redelivery.
+    fn accept_record(&mut self, _lease: u64, record: UnitRecord) -> Result<(), ServeError> {
+        let Some(active) = self.campaign.as_mut() else {
+            // A record for a campaign this (restarted) coordinator never
+            // activated: drop it; the worker will be reassigned.
+            return Ok(());
+        };
+        if active.store.append_dedup(record)? {
+            self.records += 1;
+            mc_obs::counter("serve.records", 1);
+        } else {
+            self.duplicates += 1;
+            mc_obs::counter("serve.duplicates", 1);
+        }
+        Ok(())
+    }
+
+    /// Handles a worker's claim that its lease is finished. The store is
+    /// the judge: an incomplete claim reclaims the lease instead.
+    fn lease_done(&mut self, worker: u64, lease: usize) {
+        let Some(active) = self.campaign.as_mut() else {
+            return;
+        };
+        if lease >= active.leases.count() || active.leases.holder(lease) != Some(worker) {
+            return; // stale claim from a reclaimed lease
+        }
+        let shard = Shard {
+            index: lease,
+            count: active.leases.count(),
+        };
+        let total = active.spec.total_units();
+        let store = &active.store;
+        if one_shard_progress(total, shard, |u| store.is_complete(u)).is_complete() {
+            active.leases.complete(lease);
+        } else {
+            active.leases.reclaim(lease);
+        }
+        if let Some(w) = self.workers.get_mut(&worker) {
+            w.last_seen = Instant::now();
+            w.lease = None;
+        }
+        self.assign_idle();
+    }
+
+    /// Whether the active campaign has every unit in the store.
+    fn campaign_complete(&self) -> bool {
+        self.campaign
+            .as_ref()
+            .is_some_and(|a| a.store.completed_count() == a.spec.total_units())
+    }
+
+    /// Completion: mark every lease done, tell every worker to exit, and
+    /// flag the session complete.
+    fn finish(&mut self) {
+        let _merge_span = mc_obs::span("serve.merge");
+        if let Some(active) = self.campaign.as_mut() {
+            for lease in 0..active.leases.count() {
+                active.leases.complete(lease);
+            }
+        }
+        self.completed = true;
+        let ids: Vec<u64> = self.workers.keys().copied().collect();
+        for id in ids {
+            // Send the goodbye but do NOT slam the socket: a worker may
+            // still be flushing its final `LeaseDone`, and TCP delivers
+            // the buffered `Shutdown` before the eventual EOF either way.
+            let _ = self.send_to(id, &Message::Shutdown);
+        }
+        self.workers.clear();
+    }
+
+    /// Simulated crash / poisoned store: slam every socket without a
+    /// goodbye.
+    fn slam_connections(&mut self) {
+        for w in self.workers.values() {
+            let _ = w.stream.shutdown(Shutdown::Both);
+        }
+        self.workers.clear();
+    }
+
+    /// Removes a worker and reclaims its lease.
+    fn drop_worker(&mut self, id: u64, _why: &str) {
+        let Some(w) = self.workers.remove(&id) else {
+            return;
+        };
+        let _ = w.stream.shutdown(Shutdown::Both);
+        if let Some(active) = self.campaign.as_mut() {
+            let reclaimed = active.leases.reclaim_worker(id);
+            if !reclaimed.is_empty() {
+                let _reclaim_span = mc_obs::span("serve.reclaim");
+                self.reclaims += reclaimed.len() as u64;
+                mc_obs::counter("serve.reclaims", reclaimed.len() as u64);
+            }
+        }
+        self.assign_idle();
+    }
+
+    /// Offers leases to every idle worker.
+    fn assign_idle(&mut self) {
+        let idle: Vec<u64> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.lease.is_none())
+            .map(|(id, _)| *id)
+            .collect();
+        for id in idle {
+            self.try_assign(id);
+        }
+    }
+
+    /// Assigns the next pending lease to `id`, skipping leases the store
+    /// already covers (a resumed checkpoint can complete a lease before
+    /// any worker touches it).
+    fn try_assign(&mut self, id: u64) {
+        loop {
+            let Some(active) = self.campaign.as_mut() else {
+                return;
+            };
+            if !self.workers.contains_key(&id)
+                || self.workers.get(&id).is_some_and(|w| w.lease.is_some())
+            {
+                return;
+            }
+            let Some(lease) = active.leases.assign_next(id) else {
+                return;
+            };
+            let count = active.leases.count();
+            let shard = Shard {
+                index: lease,
+                count,
+            };
+            let total = active.spec.total_units();
+            let store = &active.store;
+            if one_shard_progress(total, shard, |u| store.is_complete(u)).is_complete() {
+                active.leases.complete(lease);
+                continue;
+            }
+            let done: Vec<usize> = (0..total)
+                .filter(|&u| shard.owns(u) && store.is_complete(u))
+                .collect();
+            let msg = Message::Assign {
+                lease: lease as u64,
+                spec: active.spec.clone(),
+                shard_index: lease,
+                shard_count: count,
+                done,
+            };
+            let _assign_span = mc_obs::span("serve.assign");
+            if self.send_to(id, &msg) {
+                if let Some(w) = self.workers.get_mut(&id) {
+                    w.lease = Some(lease);
+                }
+                return;
+            }
+            // The send failed: the worker is gone; its freshly assigned
+            // lease goes straight back.
+            self.drop_worker(id, "assign write failed");
+            return;
+        }
+    }
+
+    /// Writes one frame to a worker. `false` (and no panic) on failure.
+    fn send_to(&mut self, id: u64, msg: &Message) -> bool {
+        let Some(w) = self.workers.get_mut(&id) else {
+            return false;
+        };
+        write_frame(&mut w.stream, msg).is_ok()
+    }
+}
+
+impl std::fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("addr", &self.inner.addr)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_exp::store::Store;
+    use mc_exp::{CatalogOptions, Metric};
+
+    fn tiny_spec() -> CampaignSpec {
+        mc_exp::catalog::build("ablation_sigma", &CatalogOptions::default())
+            .unwrap()
+            .spec
+    }
+
+    fn memory_opener() -> StoreOpener {
+        Box::new(|spec: &CampaignSpec| Ok((Store::in_memory(spec), ResumeInfo::default())))
+    }
+
+    #[test]
+    fn submit_is_idempotent_and_rejects_a_second_campaign() {
+        let mut hub = Hub {
+            opener: memory_opener(),
+            workers: BTreeMap::new(),
+            next_worker_id: 0,
+            campaign: None,
+            records: 0,
+            duplicates: 0,
+            reclaims: 0,
+            completed: false,
+            killed: false,
+            error: None,
+        };
+        let cfg = CoordinatorConfig::default();
+        let spec = tiny_spec();
+        assert_eq!(hub.activate(&spec, &cfg).unwrap(), (5, 0));
+        assert_eq!(hub.activate(&spec, &cfg).unwrap(), (5, 0), "idempotent");
+        let mut other = spec.clone();
+        other.seed = 99;
+        assert!(matches!(
+            hub.activate(&other, &cfg),
+            Err(ServeError::Rejected(_))
+        ));
+    }
+
+    #[test]
+    fn records_dedup_and_count_through_the_hub() {
+        let mut hub = Hub {
+            opener: memory_opener(),
+            workers: BTreeMap::new(),
+            next_worker_id: 0,
+            campaign: None,
+            records: 0,
+            duplicates: 0,
+            reclaims: 0,
+            completed: false,
+            killed: false,
+            error: None,
+        };
+        let spec = tiny_spec();
+        hub.activate(&spec, &CoordinatorConfig::default()).unwrap();
+        let u = spec.unit(0);
+        let record = UnitRecord {
+            unit: u.index,
+            point: u.point,
+            replica: u.replica,
+            seed: u.seed,
+            metrics: vec![Metric::new("value", 1.0)],
+        };
+        hub.accept_record(0, record.clone()).unwrap();
+        hub.accept_record(0, record.clone()).unwrap();
+        assert_eq!((hub.records, hub.duplicates), (1, 1));
+        let mut conflict = record;
+        conflict.metrics[0].value = 2.0;
+        assert!(hub.accept_record(0, conflict).is_err());
+    }
+
+    #[test]
+    fn preactivation_marks_resumed_leases_done() {
+        let spec = tiny_spec();
+        let mut store = Store::in_memory(&spec);
+        // Complete stripe 1 of 2 (units 1 and 3) before activation.
+        for unit in [1usize, 3] {
+            let u = spec.unit(unit);
+            store
+                .append(UnitRecord {
+                    unit: u.index,
+                    point: u.point,
+                    replica: u.replica,
+                    seed: u.seed,
+                    metrics: vec![Metric::new("value", 0.0)],
+                })
+                .unwrap();
+        }
+        let prefilled = Mutex::new(Some(store));
+        let mut hub = Hub {
+            opener: Box::new(move |_spec| {
+                Ok((
+                    prefilled.lock().unwrap().take().expect("opened once"),
+                    ResumeInfo::default(),
+                ))
+            }),
+            workers: BTreeMap::new(),
+            next_worker_id: 0,
+            campaign: None,
+            records: 0,
+            duplicates: 0,
+            reclaims: 0,
+            completed: false,
+            killed: false,
+            error: None,
+        };
+        let cfg = CoordinatorConfig {
+            leases: 2,
+            ..CoordinatorConfig::default()
+        };
+        assert_eq!(hub.activate(&tiny_spec(), &cfg).unwrap(), (5, 2));
+        let leases = &hub.campaign.as_ref().unwrap().leases;
+        assert_eq!(leases.state(1), crate::lease::LeaseState::Done);
+        assert_eq!(leases.state(0), crate::lease::LeaseState::Pending);
+    }
+}

@@ -1,0 +1,182 @@
+//! The lease state machine: pure bookkeeping, no I/O, no clocks.
+//!
+//! A lease is one `i/n` stripe of the campaign's unit space — exactly the
+//! striping `chebymc exp run --shard i/n` uses, so a lease's result set
+//! is the same thing a manual sharded run would produce. Each lease walks
+//! `Pending → Assigned(worker) → Done`, with one backward edge: a
+//! *reclaim* (worker death, heartbeat silence, or a premature
+//! `LeaseDone`) moves `Assigned → Pending` so another worker can pick it
+//! up. Completion is decided by the caller against the checkpoint store —
+//! the table never takes a worker's word for it.
+
+use std::fmt;
+
+/// One lease's position in the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// Unowned; assignable.
+    Pending,
+    /// Owned by a worker.
+    Assigned(u64),
+    /// Every owned unit is in the store.
+    Done,
+}
+
+/// The coordinator's lease table: one state per stripe.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    states: Vec<LeaseState>,
+}
+
+impl LeaseTable {
+    /// A table of `count` pending leases (stripes `0/count` ..
+    /// `count-1/count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `count == 0` — a campaign always has at least one
+    /// stripe.
+    #[must_use]
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "lease count must be at least 1");
+        LeaseTable {
+            states: vec![LeaseState::Pending; count],
+        }
+    }
+
+    /// Number of leases.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The lease's current state.
+    #[must_use]
+    pub fn state(&self, lease: usize) -> LeaseState {
+        self.states[lease]
+    }
+
+    /// Assigns the first pending lease to `worker`, if any.
+    pub fn assign_next(&mut self, worker: u64) -> Option<usize> {
+        let lease = self.states.iter().position(|s| *s == LeaseState::Pending)?;
+        self.states[lease] = LeaseState::Assigned(worker);
+        Some(lease)
+    }
+
+    /// Marks a lease done (the caller verified completeness against the
+    /// store). Valid from any state: a lease may complete while pending —
+    /// its units can arrive as redeliveries through *other* leases'
+    /// records never can, but a resumed checkpoint can cover it entirely.
+    pub fn complete(&mut self, lease: usize) {
+        self.states[lease] = LeaseState::Done;
+    }
+
+    /// Returns an `Assigned` lease to `Pending` (reclaim). No-op for
+    /// pending or done leases — a worker's stale `LeaseDone` after a
+    /// reclaim must not resurrect a finished lease.
+    pub fn reclaim(&mut self, lease: usize) {
+        if matches!(self.states[lease], LeaseState::Assigned(_)) {
+            self.states[lease] = LeaseState::Pending;
+        }
+    }
+
+    /// Reclaims every lease assigned to `worker`, returning them.
+    pub fn reclaim_worker(&mut self, worker: u64) -> Vec<usize> {
+        let mut reclaimed = Vec::new();
+        for (lease, state) in self.states.iter_mut().enumerate() {
+            if *state == LeaseState::Assigned(worker) {
+                *state = LeaseState::Pending;
+                reclaimed.push(lease);
+            }
+        }
+        reclaimed
+    }
+
+    /// The worker currently holding `lease`, if assigned.
+    #[must_use]
+    pub fn holder(&self, lease: usize) -> Option<u64> {
+        match self.states[lease] {
+            LeaseState::Assigned(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Whether every lease is done.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.states.iter().all(|s| *s == LeaseState::Done)
+    }
+
+    /// Number of pending (assignable) leases.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| **s == LeaseState::Pending)
+            .count()
+    }
+}
+
+impl fmt::Display for LeaseTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let done = self
+            .states
+            .iter()
+            .filter(|s| **s == LeaseState::Done)
+            .count();
+        let assigned = self
+            .states
+            .iter()
+            .filter(|s| matches!(s, LeaseState::Assigned(_)))
+            .count();
+        write!(
+            f,
+            "{done}/{} leases done, {assigned} assigned, {} pending",
+            self.states.len(),
+            self.pending_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_walk_pending_assigned_done() {
+        let mut t = LeaseTable::new(2);
+        assert_eq!(t.pending_count(), 2);
+        assert_eq!(t.assign_next(7), Some(0));
+        assert_eq!(t.holder(0), Some(7));
+        assert_eq!(t.assign_next(8), Some(1));
+        assert_eq!(t.assign_next(9), None, "no pending lease left");
+        t.complete(0);
+        assert_eq!(t.state(0), LeaseState::Done);
+        assert!(!t.all_done());
+        t.complete(1);
+        assert!(t.all_done());
+    }
+
+    #[test]
+    fn reclaim_returns_a_dead_workers_leases() {
+        let mut t = LeaseTable::new(3);
+        t.assign_next(1);
+        t.assign_next(2);
+        assert_eq!(t.reclaim_worker(1), vec![0]);
+        assert_eq!(t.state(0), LeaseState::Pending);
+        assert_eq!(t.holder(1), Some(2), "other workers keep theirs");
+        // The reclaimed lease is assignable again.
+        assert_eq!(t.assign_next(3), Some(0));
+    }
+
+    #[test]
+    fn stale_signals_cannot_resurrect_a_done_lease() {
+        let mut t = LeaseTable::new(1);
+        t.assign_next(1);
+        t.complete(0);
+        t.reclaim(0);
+        t.reclaim_worker(1);
+        assert_eq!(t.state(0), LeaseState::Done);
+        assert_eq!(t.to_string(), "1/1 leases done, 0 assigned, 0 pending");
+    }
+}

@@ -1,0 +1,293 @@
+//! The length-prefixed JSONL wire protocol.
+//!
+//! A frame is an ASCII decimal byte length terminated by `\n`, followed
+//! by exactly that many bytes of JSON (one serialized [`Message`]),
+//! followed by a closing `\n`. The prefix makes framing independent of
+//! JSON content; the trailing newline keeps a captured stream readable as
+//! JSONL with interleaved length lines. Both sides treat a clean EOF at a
+//! frame boundary as an orderly disconnect and anything else — a torn
+//! prefix, a short payload, an oversized length — as a protocol error.
+
+use crate::ServeError;
+use mc_exp::{CampaignSpec, UnitRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on one frame's payload. Specs embed their full point list,
+/// so frames are kilobytes; anything near this bound is a corrupt or
+/// hostile length prefix, not a campaign.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Every message either side of the protocol sends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Worker → coordinator: first frame of a connection.
+    Hello {
+        /// Worker display name (diagnostics only).
+        worker: String,
+        /// The worker's thread budget (diagnostics only).
+        threads: usize,
+    },
+    /// Coordinator → worker: registration acknowledged.
+    Welcome {
+        /// The coordinator-assigned worker id.
+        worker_id: u64,
+    },
+    /// Client → coordinator: run this campaign.
+    Submit {
+        /// The campaign to run.
+        spec: CampaignSpec,
+    },
+    /// Coordinator → client: the submission is (now) the active campaign.
+    Accepted {
+        /// The campaign fingerprint.
+        fingerprint: String,
+        /// Total units of the campaign.
+        total_units: usize,
+        /// Units already complete in the checkpoint store (resume).
+        completed: usize,
+    },
+    /// Coordinator → client: the submission was refused.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// Coordinator → worker: run one lease (an `i/n` stripe).
+    Assign {
+        /// Lease id (the stripe index).
+        lease: u64,
+        /// The campaign spec; the worker rebuilds its runner from it.
+        spec: CampaignSpec,
+        /// Stripe index (`shard_index/shard_count` in mc-exp terms).
+        shard_index: usize,
+        /// Stripe count.
+        shard_count: usize,
+        /// Unit indices of the stripe the store already holds — a
+        /// reassigned lease resumes instead of recomputing.
+        done: Vec<usize>,
+    },
+    /// Worker → coordinator: one completed unit of the worker's lease.
+    Record {
+        /// The lease the record belongs to.
+        lease: u64,
+        /// The unit's result record.
+        record: UnitRecord,
+    },
+    /// Worker → coordinator: every pending unit of the lease was sent.
+    LeaseDone {
+        /// The finished lease.
+        lease: u64,
+    },
+    /// Worker → coordinator: liveness signal.
+    Heartbeat,
+    /// Coordinator → worker: the campaign is complete; exit cleanly.
+    Shutdown,
+}
+
+/// Writes one frame and flushes it.
+///
+/// # Errors
+///
+/// Serialization or socket failures.
+pub fn write_frame(w: &mut dyn Write, msg: &Message) -> Result<(), ServeError> {
+    let json = serde_json::to_string(msg)
+        .map_err(|e| ServeError::Protocol(format!("message serialization failed: {e}")))?;
+    let mut frame = json.len().to_string();
+    frame.push('\n');
+    frame.push_str(&json);
+    frame.push('\n');
+    w.write_all(frame.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary (the
+/// peer closed in an orderly way); a torn frame is a protocol error.
+///
+/// # Errors
+///
+/// Socket failures, oversized or malformed length prefixes, short
+/// payloads, and JSON that does not parse as a [`Message`].
+pub fn read_frame(r: &mut dyn Read) -> Result<Option<Message>, ServeError> {
+    // Length prefix: ASCII digits up to '\n'.
+    let mut len: usize = 0;
+    let mut digits = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) if digits == 0 => return Ok(None),
+            Ok(0) => return Err(ServeError::Protocol("EOF inside a length prefix".into())),
+            Ok(_) => {}
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+        match byte[0] {
+            b'\n' if digits > 0 => break,
+            d @ b'0'..=b'9' => {
+                digits += 1;
+                len = len
+                    .checked_mul(10)
+                    .and_then(|l| l.checked_add(usize::from(d - b'0')))
+                    .filter(|&l| l <= MAX_FRAME)
+                    .ok_or_else(|| ServeError::Protocol("frame length overflows".into()))?;
+            }
+            other => {
+                return Err(ServeError::Protocol(format!(
+                    "byte 0x{other:02x} in a length prefix"
+                )))
+            }
+        }
+    }
+    let mut payload = vec![0u8; len + 1]; // + the closing newline
+    r.read_exact(&mut payload)
+        .map_err(|e| ServeError::Protocol(format!("short frame payload: {e}")))?;
+    if payload.pop() != Some(b'\n') {
+        return Err(ServeError::Protocol(
+            "frame missing its closing newline".into(),
+        ));
+    }
+    let json = std::str::from_utf8(&payload)
+        .map_err(|_| ServeError::Protocol("frame payload is not UTF-8".into()))?;
+    serde_json::from_str(json)
+        .map(Some)
+        .map_err(|e| ServeError::Protocol(format!("frame does not parse: {e}")))
+}
+
+/// Submits a campaign to a coordinator and returns its `Accepted` reply
+/// (fingerprint, total units, units already complete).
+///
+/// # Errors
+///
+/// Connection failures, a `Rejected` reply, or protocol violations.
+pub fn submit(addr: &str, spec: &CampaignSpec) -> Result<(String, usize, usize), ServeError> {
+    let mut stream = TcpStream::connect(addr)?;
+    write_frame(&mut stream, &Message::Submit { spec: spec.clone() })?;
+    match read_frame(&mut stream)? {
+        Some(Message::Accepted {
+            fingerprint,
+            total_units,
+            completed,
+        }) => Ok((fingerprint, total_units, completed)),
+        Some(Message::Rejected { reason }) => Err(ServeError::Rejected(reason)),
+        Some(other) => Err(ServeError::Protocol(format!(
+            "unexpected reply to Submit: {other:?}"
+        ))),
+        None => Err(ServeError::Protocol(
+            "coordinator closed without replying to Submit".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_exp::{CatalogOptions, Metric};
+
+    fn spec() -> CampaignSpec {
+        mc_exp::catalog::build("ablation_sigma", &CatalogOptions::default())
+            .unwrap()
+            .spec
+    }
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, msg).unwrap();
+        read_frame(&mut &buf[..]).unwrap().unwrap()
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let s = spec();
+        let u = s.unit(2);
+        let messages = vec![
+            Message::Hello {
+                worker: "w0".into(),
+                threads: 4,
+            },
+            Message::Welcome { worker_id: 7 },
+            Message::Submit { spec: s.clone() },
+            Message::Accepted {
+                fingerprint: s.fingerprint(),
+                total_units: 5,
+                completed: 2,
+            },
+            Message::Rejected {
+                reason: "busy".into(),
+            },
+            Message::Assign {
+                lease: 1,
+                spec: s.clone(),
+                shard_index: 1,
+                shard_count: 3,
+                done: vec![1],
+            },
+            Message::Record {
+                lease: 1,
+                record: UnitRecord {
+                    unit: u.index,
+                    point: u.point,
+                    replica: u.replica,
+                    seed: u.seed,
+                    metrics: vec![Metric::new("value", 0.5)],
+                },
+            },
+            Message::LeaseDone { lease: 1 },
+            Message::Heartbeat,
+            Message::Shutdown,
+        ];
+        for msg in &messages {
+            assert_eq!(&roundtrip(msg), msg);
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_and_clean_eof_is_none() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Heartbeat).unwrap();
+        write_frame(&mut buf, &Message::LeaseDone { lease: 9 }).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Message::Heartbeat));
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(Message::LeaseDone { lease: 9 })
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn torn_and_malformed_frames_are_protocol_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Message::Heartbeat).unwrap();
+        // Torn payload.
+        let torn = &buf[..buf.len() - 3];
+        assert!(matches!(
+            read_frame(&mut &torn[..]),
+            Err(ServeError::Protocol(_))
+        ));
+        // EOF inside the length prefix.
+        assert!(matches!(
+            read_frame(&mut &b"12"[..]),
+            Err(ServeError::Protocol(_))
+        ));
+        // Garbage where digits belong.
+        assert!(matches!(
+            read_frame(&mut &b"12x\n"[..]),
+            Err(ServeError::Protocol(_))
+        ));
+        // A length that exceeds the frame bound.
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        assert!(matches!(
+            read_frame(&mut huge.as_bytes()),
+            Err(ServeError::Protocol(_))
+        ));
+        // A frame whose closing newline is wrong.
+        let mut bad = Vec::new();
+        write_frame(&mut bad, &Message::Heartbeat).unwrap();
+        let last = bad.len() - 1;
+        bad[last] = b'x';
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+}

@@ -73,8 +73,10 @@ USAGE:
       counters, histograms) of the run to a JSONL file; inspect it with
       `chebymc trace summary`.
 
-  chebymc exp status <store.jsonl>
+  chebymc exp status <store.jsonl> [--shards <n>]
       Describe a result store: campaign, fingerprint, completed units.
+      --shards breaks completion down per `i/n` stripe — the same
+      striping `exp run --shard` and the campaign service use.
 
   chebymc exp merge -o <out.jsonl> <store.jsonl>...
       Merge shard stores of one campaign into a canonical store
@@ -82,6 +84,31 @@ USAGE:
 
   chebymc exp export-csv <store.jsonl> [-o <file.csv>] [--per-unit]
       Export per-point means (or raw per-unit rows) as CSV.
+
+  chebymc serve <campaign> --store <file.jsonl> [--listen <addr>]
+                [--leases <n>] [--timeout-ms <n>] [--addr-file <file>]
+                [--sets <n>] [--samples <n>] [--seed <n>] [-o <merged.jsonl>]
+                [--trace <file.jsonl>] [--quiet]
+      Coordinate a distributed run of a catalog campaign: listen for
+      workers, lease out `i/n` stripes, reclaim leases from dead or
+      silent workers, and checkpoint every record to the crash-safe
+      store — killing the coordinator and rerunning the same command
+      resumes mid-campaign. Prints `listening on <addr>` at startup;
+      --addr-file additionally publishes the address to a file that
+      workers can poll (it is emptied on completion, telling workers to
+      exit). -o writes the canonical merged store once complete —
+      byte-identical to a serial `exp run` of the same campaign.
+
+  chebymc worker --connect <addr> | --connect-file <file>
+                 [--threads <n>] [--name <s>] [--heartbeat-ms <n>]
+                 [--retry-ms <n>] [--throttle-ms <n>]
+                 [--trace <file.jsonl>] [--quiet]
+      Execute leases for a coordinator. --connect-file re-reads the
+      file before every connection attempt, so workers follow a
+      restarted coordinator to its new address; an emptied file tells
+      the worker to exit cleanly. Workers are stateless — all context
+      arrives with each assignment — and reconnect within --retry-ms
+      after a lost coordinator.
 
   chebymc trace summary <trace.jsonl>
       Summarize an observability trace produced by `exp run --trace`
@@ -127,6 +154,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "wcet" => cmd_wcet(rest),
         "lint" => cmd_lint(rest),
         "exp" => cmd_exp(rest),
+        "serve" => cmd_serve(rest),
+        "worker" => cmd_worker(rest),
         "trace" => cmd_trace(rest),
         "fault" => cmd_fault(rest),
         "version" | "--version" | "-V" => {
@@ -148,8 +177,8 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 /// The dispatchable subcommand names, for typo suggestions.
 const SUBCOMMANDS: &[&str] = &[
-    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "trace", "fault", "help",
-    "version",
+    "generate", "analyze", "design", "simulate", "wcet", "lint", "exp", "serve", "worker", "trace",
+    "fault", "help", "version",
 ];
 
 /// Suggests the nearest valid subcommand when the typo is close enough
@@ -515,6 +544,185 @@ fn cmd_exp(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 }
 
+/// Starts tracing to `path` when given; pairs with [`finish_trace`].
+fn start_trace(path: Option<&str>) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(trace_path) = path {
+        chebymc::obs::init_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("cannot open trace file `{trace_path}`: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Finalizes a trace started by [`start_trace`] without letting a
+/// trace-flush error mask the traced operation's own error.
+fn finish_trace<T, E>(
+    path: Option<&str>,
+    result: Result<T, E>,
+) -> Result<T, Box<dyn std::error::Error>>
+where
+    E: Into<Box<dyn std::error::Error>>,
+{
+    if path.is_some() {
+        let flushed = chebymc::obs::shutdown();
+        if result.is_ok() {
+            flushed.map_err(|e| format!("cannot finalize trace: {e}"))?;
+        }
+    }
+    let value = result.map_err(Into::into)?;
+    if let Some(trace_path) = path {
+        eprintln!("trace written to {trace_path} (inspect with `chebymc trace summary`)");
+    }
+    Ok(value)
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::exp::{catalog, Store};
+    use chebymc::serve::{Coordinator, CoordinatorConfig};
+    let mut args = args.to_vec();
+    let quiet = take_switch(&mut args, "--quiet");
+    let (mut store_path, mut sets, mut samples, mut seed) = (None, None, None, None);
+    let (mut listen, mut leases, mut timeout_ms, mut addr_file, mut out, mut trace) =
+        (None, None, None, None, None, None);
+    let positional = parse_flags(
+        &args,
+        &mut [
+            ("--store", &mut store_path),
+            ("--sets", &mut sets),
+            ("--samples", &mut samples),
+            ("--seed", &mut seed),
+            ("--listen", &mut listen),
+            ("--leases", &mut leases),
+            ("--timeout-ms", &mut timeout_ms),
+            ("--addr-file", &mut addr_file),
+            ("-o", &mut out),
+            ("--trace", &mut trace),
+        ],
+    )?;
+    let [name] = positional.as_slice() else {
+        return Err("serve needs exactly one campaign name (see `chebymc exp list`)".into());
+    };
+    let opts = catalog::CatalogOptions {
+        sets: sets.as_deref().map(str::parse).transpose()?,
+        samples: samples.as_deref().map(str::parse).transpose()?,
+        seed: seed.as_deref().map(str::parse).transpose()?,
+        points: None,
+    };
+    let campaign = catalog::build(name, &opts)?;
+    let store_path = store_path.ok_or("serve needs --store <file.jsonl>")?;
+
+    let report = chebymc::lint::lint_campaign(&campaign.spec.check(0, 1, Some(&store_path), None));
+    if report.has_errors() {
+        eprintln!("{}", report.render_human().trim_end());
+        return Err(format!(
+            "campaign failed static analysis with {} error(s)",
+            report.count(chebymc::lint::Severity::Error)
+        )
+        .into());
+    }
+
+    let cfg = CoordinatorConfig {
+        listen: listen.unwrap_or_else(|| "127.0.0.1:0".into()),
+        leases: leases.as_deref().unwrap_or("8").parse()?,
+        heartbeat_timeout: std::time::Duration::from_millis(
+            timeout_ms.as_deref().unwrap_or("5000").parse()?,
+        ),
+        ..CoordinatorConfig::default()
+    };
+    let checkpoint = std::path::PathBuf::from(&store_path);
+    let coordinator = Coordinator::bind(
+        cfg,
+        Box::new(move |spec| Store::create_or_resume(&checkpoint, spec)),
+    )?;
+    let (total, done) = coordinator.preload(&campaign.spec)?;
+    if done > 0 && !quiet {
+        eprintln!("serve: resuming {store_path}: {done} of {total} units already complete");
+    }
+    let addr = coordinator.local_addr();
+    println!("listening on {addr}");
+    if let Some(file) = addr_file.as_deref() {
+        std::fs::write(file, format!("{addr}\n"))
+            .map_err(|e| format!("cannot write `{file}`: {e}"))?;
+    }
+
+    start_trace(trace.as_deref())?;
+    let result = coordinator.run();
+    let outcome = finish_trace(trace.as_deref(), result)?;
+
+    if let Some(file) = addr_file.as_deref() {
+        // Withdraw the address: workers polling the file exit cleanly.
+        std::fs::write(file, "").map_err(|e| format!("cannot clear `{file}`: {e}"))?;
+    }
+    if !quiet {
+        println!(
+            "campaign `{name}`: {}/{} units complete ({} records accepted, \
+             {} duplicates absorbed, {} leases reclaimed)",
+            outcome.completed_units,
+            outcome.total_units,
+            outcome.records,
+            outcome.duplicates,
+            outcome.reclaims
+        );
+    }
+    if let Some(out) = out {
+        let canonical = coordinator
+            .canonical_lines()
+            .ok_or("no campaign was activated")?;
+        std::fs::write(&out, canonical).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        println!("merged store written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_worker(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use chebymc::serve::{run_worker, AddrSource, CatalogFactory, WorkerConfig};
+    let mut args = args.to_vec();
+    let quiet = take_switch(&mut args, "--quiet");
+    let (mut connect, mut connect_file, mut threads, mut name) = (None, None, None, None);
+    let (mut heartbeat_ms, mut retry_ms, mut throttle_ms, mut trace) = (None, None, None, None);
+    let positional = parse_flags(
+        &args,
+        &mut [
+            ("--connect", &mut connect),
+            ("--connect-file", &mut connect_file),
+            ("--threads", &mut threads),
+            ("--name", &mut name),
+            ("--heartbeat-ms", &mut heartbeat_ms),
+            ("--retry-ms", &mut retry_ms),
+            ("--throttle-ms", &mut throttle_ms),
+            ("--trace", &mut trace),
+        ],
+    )?;
+    if !positional.is_empty() {
+        return Err(format!("unexpected argument `{}`", positional[0]).into());
+    }
+    let source = match (connect, connect_file) {
+        (Some(addr), None) => AddrSource::Fixed(addr),
+        (None, Some(file)) => AddrSource::File(file.into()),
+        _ => return Err("worker needs exactly one of --connect or --connect-file".into()),
+    };
+    let cfg = WorkerConfig {
+        name: name.unwrap_or_else(|| format!("worker-{}", std::process::id())),
+        threads: threads.as_deref().unwrap_or("0").parse()?,
+        heartbeat: std::time::Duration::from_millis(
+            heartbeat_ms.as_deref().unwrap_or("1000").parse()?,
+        ),
+        retry: std::time::Duration::from_millis(retry_ms.as_deref().unwrap_or("10000").parse()?),
+        throttle: std::time::Duration::from_millis(throttle_ms.as_deref().unwrap_or("0").parse()?),
+        ..WorkerConfig::default()
+    };
+
+    start_trace(trace.as_deref())?;
+    let result = run_worker(&source, &cfg, &CatalogFactory);
+    let summary = finish_trace(trace.as_deref(), result)?;
+    if !quiet {
+        println!(
+            "worker done: {} leases streamed, {} records, {} reconnects",
+            summary.leases, summary.records, summary.reconnects
+        );
+    }
+    Ok(())
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let Some(sub) = args.first() else {
         return Err("trace needs a subcommand: summary".into());
@@ -693,10 +901,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             }
         );
     }
-    if let Some(trace_path) = trace.as_deref() {
-        chebymc::obs::init_file(std::path::Path::new(trace_path))
-            .map_err(|e| format!("cannot open trace file `{trace_path}`: {e}"))?;
-    }
+    start_trace(trace.as_deref())?;
     let result = run_campaign(
         &campaign.spec,
         campaign.runner.as_ref(),
@@ -707,18 +912,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             progress: !quiet,
         },
     );
-    if trace.is_some() {
-        // Finalize the trace even when the run failed, but never let a
-        // trace-flush error mask the run's own error.
-        let flushed = chebymc::obs::shutdown();
-        if result.is_ok() {
-            flushed.map_err(|e| format!("cannot finalize trace: {e}"))?;
-        }
-    }
-    let summary = result?;
-    if let Some(trace_path) = trace.as_deref() {
-        eprintln!("exp: trace written to {trace_path} (inspect with `chebymc trace summary`)");
-    }
+    let summary = finish_trace(trace.as_deref(), result)?;
     println!(
         "campaign `{name}` (shard {shard}): ran {} units, skipped {} already-complete, \
          store {store_path} holds {}/{} units",
@@ -746,16 +940,15 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn exp_status(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    use chebymc::exp::Store;
-    let positional = parse_flags(args, &mut [])?;
+    use chebymc::exp::{points_complete, shard_progress, Store};
+    let mut shards = None;
+    let positional = parse_flags(args, &mut [("--shards", &mut shards)])?;
     let [path] = positional.as_slice() else {
         return Err("exp status needs exactly one store file".into());
     };
     let store = Store::load(std::path::Path::new(path), None)?;
     let spec = store.spec();
-    let points_done = (0..spec.points.len())
-        .filter(|&p| (0..spec.replicas).all(|r| store.is_complete(p * spec.replicas + r)))
-        .count();
+    let points_done = points_complete(spec, |u| store.is_complete(u));
     println!("store       {path}");
     println!("campaign    {} (seed {})", spec.name, spec.seed);
     println!("fingerprint {}", store.header().fingerprint);
@@ -771,6 +964,21 @@ fn exp_status(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         spec.total_units(),
         spec.points.len()
     );
+    if let Some(n) = shards {
+        let n: usize = n.parse()?;
+        if n == 0 {
+            return Err("--shards must be at least 1".into());
+        }
+        for p in shard_progress(spec.total_units(), n, |u| store.is_complete(u)) {
+            println!(
+                "  shard {}  {}/{} units{}",
+                p.shard,
+                p.done,
+                p.units,
+                if p.is_complete() { "  (complete)" } else { "" }
+            );
+        }
+    }
     Ok(())
 }
 

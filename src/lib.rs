@@ -15,6 +15,7 @@
 //! | [`lint`] | static analysis: CFG structure, task-set and config diagnostics |
 //! | [`core`] | the paper's scheme: policies, metrics, batch pipelines |
 //! | [`exp`] | sharded, resumable experiment campaigns with a crash-safe store |
+//! | [`serve`] | the distributed campaign service: coordinator, workers, failover |
 //! | [`fault`] | deterministic fault injection and the seeded property harness |
 //! | [`obs`] | zero-dependency tracing: spans, counters, histograms, JSONL sink |
 //!
@@ -50,6 +51,7 @@ pub use mc_lint as lint;
 pub use mc_obs as obs;
 pub use mc_opt as opt;
 pub use mc_sched as sched;
+pub use mc_serve as serve;
 pub use mc_stats as stats;
 pub use mc_task as task;
 

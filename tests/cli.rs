@@ -351,3 +351,180 @@ fn help_lists_fault_sweep() {
     assert!(text.contains("chebymc fault sweep"), "help must list fault");
     assert!(text.contains("reproduces"), "{text}");
 }
+
+#[test]
+fn serve_with_real_worker_processes_matches_a_serial_run() {
+    use std::io::BufRead;
+
+    let serial = tmp("serve-serial.jsonl");
+    let ckpt = tmp("serve-ckpt.jsonl");
+    let merged = tmp("serve-merged.jsonl");
+    let addr_file = tmp("serve-addr.txt");
+    for p in [&serial, &ckpt, &merged, &addr_file] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    // The byte-identity reference: the same campaign run serially.
+    let out = chebymc(&[
+        "exp",
+        "run",
+        "table2",
+        "--samples",
+        "150",
+        "--store",
+        serial.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_chebymc"))
+        .args([
+            "serve",
+            "table2",
+            "--samples",
+            "150",
+            "--store",
+            ckpt.to_str().unwrap(),
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "-o",
+            merged.to_str().unwrap(),
+            "--leases",
+            "4",
+            "--timeout-ms",
+            "2000",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    // Keep the stdout pipe open for serve's whole lifetime — dropping it
+    // would make its completion summary a broken-pipe panic.
+    let mut serve_stdout = std::io::BufReader::new(serve.stdout.take().expect("piped stdout"));
+    let mut first_line = String::new();
+    serve_stdout
+        .read_line(&mut first_line)
+        .expect("serve announces its address");
+    let addr = first_line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement {first_line:?}"))
+        .to_string();
+
+    // One worker by fixed address, one discovering it through the file.
+    // Units are throttled so the campaign outlives both process startups
+    // — otherwise one fast worker could drain it before the other ever
+    // connects.
+    let workers: Vec<_> = [
+        vec![
+            "worker",
+            "--connect",
+            addr.as_str(),
+            "--throttle-ms",
+            "10",
+            "--quiet",
+        ],
+        vec![
+            "worker",
+            "--connect-file",
+            addr_file.to_str().unwrap(),
+            "--throttle-ms",
+            "10",
+            "--quiet",
+        ],
+    ]
+    .into_iter()
+    .map(|args| {
+        Command::new(env!("CARGO_BIN_EXE_chebymc"))
+            .args(&args)
+            .spawn()
+            .expect("worker spawns")
+    })
+    .collect();
+
+    let serve_status = serve.wait().expect("serve exits");
+    drop(serve_stdout);
+    assert!(serve_status.success(), "serve failed");
+    for mut w in workers {
+        let status = w.wait().expect("worker exits");
+        assert!(status.success(), "worker failed");
+    }
+
+    let merged_bytes = std::fs::read(&merged).expect("merged store written");
+    let serial_bytes = std::fs::read(&serial).expect("serial store written");
+    assert_eq!(
+        merged_bytes, serial_bytes,
+        "distributed merge must be byte-identical to the serial run"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&addr_file).unwrap(),
+        "",
+        "completion withdraws the published address"
+    );
+
+    for p in [&serial, &ckpt, &merged, &addr_file] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn serve_rejects_bad_invocations() {
+    let out = chebymc(&["serve"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("campaign name"));
+
+    let out = chebymc(&["serve", "table2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store"));
+
+    let out = chebymc(&["worker"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--connect"));
+
+    let out = chebymc(&["worker", "--connect", "1.2.3.4:1", "--connect-file", "x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one"));
+}
+
+#[test]
+fn exp_status_breaks_completion_down_per_shard() {
+    let store = tmp("status-shards.jsonl");
+    let _ = std::fs::remove_file(&store);
+
+    // Run only stripe 0/2: status must show it complete and 1/2 empty.
+    let out = chebymc(&[
+        "exp",
+        "run",
+        "table2",
+        "--samples",
+        "150",
+        "--store",
+        store.to_str().unwrap(),
+        "--shard",
+        "0/2",
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = chebymc(&["exp", "status", store.to_str().unwrap(), "--shards", "2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("shard 0/2  13/13 units  (complete)"),
+        "{text}"
+    );
+    assert!(text.contains("shard 1/2  0/12 units"), "{text}");
+
+    let out = chebymc(&["exp", "status", store.to_str().unwrap(), "--shards", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards"));
+
+    let _ = std::fs::remove_file(&store);
+}
