@@ -2,7 +2,7 @@
 //! seconds per wall-clock second) across execution models and LC policies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mc_sched::sim::{simulate, JobExecModel, LcPolicy, SimConfig};
+use mc_sched::sim::{simulate, JobExecModel, LcPolicy, ModeSwitchPolicy, SimConfig};
 use mc_task::generate::{generate_mixed_taskset, GeneratorConfig};
 use mc_task::time::Duration;
 use rand::SeedableRng;
@@ -34,6 +34,7 @@ fn bench_exec_models(c: &mut Criterion) {
             exec_model: model,
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed: 1,
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
@@ -56,6 +57,7 @@ fn bench_lc_policies(c: &mut Criterion) {
             exec_model: JobExecModel::Profile,
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed: 1,
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {

@@ -8,7 +8,7 @@ use chebymc_bench::{pct, Table};
 use chebymc_core::policy::WcetPolicy;
 use chebymc_core::scheme::ChebyshevScheme;
 use mc_opt::GaConfig;
-use mc_sched::sim::{simulate, JobExecModel, LcPolicy, SimConfig};
+use mc_sched::sim::{simulate, JobExecModel, LcPolicy, ModeSwitchPolicy, SimConfig};
 use mc_task::generate::{generate_mixed_taskset, GeneratorConfig};
 use mc_task::time::Duration;
 use rand::SeedableRng;
@@ -74,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     exec_model: JobExecModel::Profile,
                     x_factor: None,
                     release_jitter: Duration::ZERO,
+                    mode_switch: ModeSwitchPolicy::System,
                     seed: 99 + seed,
                 };
                 let m = simulate(ts, &cfg)?;

@@ -9,6 +9,8 @@ use crate::metrics::design_metrics;
 use crate::policy::WcetPolicy;
 use crate::CoreError;
 use mc_sched::analysis::{edf_vd, liu};
+use mc_sched::policy::{PolicySpec, SchedulingPolicy};
+use mc_sched::sim::{simulate, SimConfig};
 use mc_task::generate::{
     generate_hc_taskset, generate_lo_bounded_taskset, generate_mixed_taskset, GeneratorConfig,
 };
@@ -391,6 +393,110 @@ pub fn acceptance_ratio_lo_bounded(
     Ok(out)
 }
 
+/// What one scheduling policy did with one designed task set: the
+/// design-time verdict plus the runtime rates of a simulation under the
+/// policy's certified behaviour — the per-unit row of the `policy_arena`
+/// campaign's cross-policy comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArenaEvaluation {
+    /// `1.0` when the policy's admission test accepted the set, else `0.0`
+    /// (kept numeric so campaign aggregation can average it into an
+    /// acceptance ratio).
+    pub schedulable: f64,
+    /// LC service fraction the policy guarantees in HI mode (`θ*` for
+    /// flexible policies, the fixed fraction otherwise, `0` for drop-all).
+    pub service_level: f64,
+    /// System-level mode switches per released HC job.
+    pub switch_rate: f64,
+    /// Task-level contained overruns per released HC job (non-zero only
+    /// under combined switching).
+    pub task_switch_rate: f64,
+    /// LC quality of service: `1 − lc_loss_rate` over the run.
+    pub lc_qos: f64,
+    /// HC deadline misses per released HC job (non-zero only when an
+    /// unschedulable set is simulated anyway).
+    pub hc_miss_rate: f64,
+}
+
+/// Races `policy` against one already-designed task set: runs the
+/// admission test, then simulates the set under the policy's certified
+/// runtime behaviour (`base` supplies horizon/exec-model; the policy
+/// overrides LC handling and mode switching; `seed` drives execution-time
+/// sampling). Unschedulable sets are simulated too — the arena table shows
+/// what *would* happen, and `hc_miss_rate` makes the failure visible.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Sched`] for an empty task set or a diverging
+/// simulation — campaign runners and `mc-serve` workers report these as
+/// failed units instead of crashing.
+pub fn evaluate_arena_set(
+    ts: &mc_task::TaskSet,
+    policy: &PolicySpec,
+    base: &SimConfig,
+    seed: u64,
+) -> Result<ArenaEvaluation, CoreError> {
+    let verdict = {
+        let _span = mc_obs::span("pipeline.admit");
+        policy.admit(ts)?
+    };
+    let cfg = SimConfig {
+        seed,
+        ..policy.sim_config(ts, base)
+    };
+    let _span = mc_obs::span("pipeline.simulate");
+    let m = simulate(ts, &cfg)?;
+    let per_hc = |n: u64| {
+        if m.hc_released == 0 {
+            0.0
+        } else {
+            n as f64 / m.hc_released as f64
+        }
+    };
+    Ok(ArenaEvaluation {
+        schedulable: if verdict.schedulable { 1.0 } else { 0.0 },
+        service_level: verdict.service_level,
+        switch_rate: m.switch_rate_per_hc_job(),
+        task_switch_rate: per_hc(m.task_level_switches),
+        lc_qos: 1.0 - m.lc_loss_rate(),
+        hc_miss_rate: per_hc(m.hc_deadline_misses),
+    })
+}
+
+/// Generates one mixed task set at bound utilisation `u` from `seed`,
+/// applies the WCET-assignment `wcet` policy (re-seeded to `seed`, inner
+/// parallelism pinned to one thread — arena units are already the
+/// fan-out axis), and races `policy` on it via [`evaluate_arena_set`].
+///
+/// The `policy_arena` campaign calls this with
+/// `seed = derive_set_seed(base, u_index, replica)` — note the seed does
+/// **not** depend on the policy, so every policy in the arena sees
+/// bit-identical task sets and the comparison is paired, not just
+/// distributional.
+///
+/// # Errors
+///
+/// Propagates generation, assignment, admission, and simulation errors.
+pub fn evaluate_arena_one_set(
+    u: f64,
+    wcet: &WcetPolicy,
+    policy: &PolicySpec,
+    generator: &GeneratorConfig,
+    seed: u64,
+    base: &SimConfig,
+) -> Result<ArenaEvaluation, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ts = {
+        let _span = mc_obs::span("pipeline.generate");
+        generate_mixed_taskset(u, generator, &mut rng).map_err(CoreError::Task)?
+    };
+    {
+        let _span = mc_obs::span("pipeline.assign");
+        reseed(wcet, seed, 1).assign(&mut ts)?;
+    }
+    evaluate_arena_set(&ts, policy, base, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -722,5 +828,69 @@ mod tests {
             ..batch
         };
         assert!(evaluate_policy_over_utilization(&[0.5], &WcetPolicy::Acet, &bad_batch).is_err());
+    }
+
+    fn arena_sim_base() -> SimConfig {
+        SimConfig::new(mc_task::time::Duration::from_secs(2))
+    }
+
+    #[test]
+    fn arena_empty_set_surfaces_as_a_structured_sched_error() {
+        // The mc-serve worker path relies on this being an Err, not a
+        // panic: a bad unit fails, the campaign continues.
+        let err = evaluate_arena_set(
+            &mc_task::TaskSet::new(),
+            &PolicySpec::EdfVdDropAll,
+            &arena_sim_base(),
+            7,
+        )
+        .unwrap_err();
+        assert_eq!(err, CoreError::Sched(mc_sched::SchedError::EmptyTaskSet));
+    }
+
+    #[test]
+    fn arena_evaluation_is_reproducible_and_covers_the_roster() {
+        let gen = GeneratorConfig::default();
+        let wcet = WcetPolicy::ChebyshevUniform { n: 3.0 };
+        for policy in PolicySpec::arena_roster() {
+            let a =
+                evaluate_arena_one_set(0.7, &wcet, &policy, &gen, 99, &arena_sim_base()).unwrap();
+            let b =
+                evaluate_arena_one_set(0.7, &wcet, &policy, &gen, 99, &arena_sim_base()).unwrap();
+            assert_eq!(a, b, "{} not reproducible", policy.name());
+            assert!((0.0..=1.0).contains(&a.lc_qos), "{}", policy.name());
+            assert!((0.0..=1.0).contains(&a.schedulable));
+        }
+    }
+
+    #[test]
+    fn arena_policies_see_identical_task_sets_at_one_seed() {
+        // The paired-comparison contract: the set a policy is judged on
+        // depends only on (u, wcet, generator, seed) — never the policy —
+        // so the service-level column is the only legitimate source of
+        // cross-policy QoS differences on an admitted, switch-free run.
+        let gen = GeneratorConfig::default();
+        let wcet = WcetPolicy::ChebyshevUniform { n: 3.0 };
+        let seed = derive_set_seed(5, 2, 11);
+        let drop = evaluate_arena_one_set(
+            0.5,
+            &wcet,
+            &PolicySpec::EdfVdDropAll,
+            &gen,
+            seed,
+            &arena_sim_base(),
+        )
+        .unwrap();
+        let degrade = evaluate_arena_one_set(
+            0.5,
+            &wcet,
+            &PolicySpec::LiuDegrade { fraction: 0.5 },
+            &gen,
+            seed,
+            &arena_sim_base(),
+        )
+        .unwrap();
+        // Same sets, same sampled execution times ⇒ same switch behaviour.
+        assert_eq!(drop.switch_rate.to_bits(), degrade.switch_rate.to_bits());
     }
 }

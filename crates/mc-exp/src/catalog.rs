@@ -24,14 +24,17 @@ use crate::run::UnitRunner;
 use crate::spec::{CampaignSpec, Param, PointSpec, WorkUnit};
 use crate::store::Metric;
 use crate::ExpError;
-use chebymc_core::pipeline::{derive_set_seed, evaluate_policy_one_set};
+use chebymc_core::pipeline::{derive_set_seed, evaluate_arena_one_set, evaluate_policy_one_set};
 use chebymc_core::policy::{paper_lambda_baselines, WcetPolicy};
 use mc_exec::benchmarks;
 use mc_exec::trace::ExecutionTrace;
 use mc_opt::{GaConfig, ProblemConfig};
+use mc_sched::policy::{PolicySpec, SchedulingPolicy};
+use mc_sched::sim::SimConfig;
 use mc_stats::chebyshev::one_sided_bound;
 use mc_stats::summary::Summary;
 use mc_task::generate::GeneratorConfig;
+use mc_task::time::Duration;
 use std::sync::OnceLock;
 
 /// A built campaign: its spec plus the runner that computes one unit.
@@ -67,7 +70,7 @@ pub struct CatalogOptions {
 /// The catalog's campaign names.
 #[must_use]
 pub fn names() -> &'static [&'static str] {
-    &["fig5", "table2", "ablation_sigma"]
+    &["fig5", "table2", "ablation_sigma", "policy_arena"]
 }
 
 /// Builds a named campaign.
@@ -81,6 +84,7 @@ pub fn build(name: &str, opts: &CatalogOptions) -> Result<Campaign, ExpError> {
         "fig5" => Ok(fig5(opts)),
         "table2" => table2(opts),
         "ablation_sigma" => Ok(ablation_sigma(opts)),
+        "policy_arena" => policy_arena(opts),
         other => Err(ExpError::Config(format!(
             "unknown campaign `{other}` (known: {})",
             names().join(", ")
@@ -107,7 +111,7 @@ pub fn rebuild(spec: &CampaignSpec) -> Result<Campaign, ExpError> {
         ..CatalogOptions::default()
     };
     match spec.name.as_str() {
-        "fig5" => {
+        "fig5" | "policy_arena" => {
             opts.sets = Some(spec.replicas);
             // Points are policy-major; the utilisation axis repeats per
             // policy, so the policy-0 block recovers it exactly.
@@ -363,6 +367,109 @@ impl UnitRunner for AblationRunner {
     }
 }
 
+/// The arena's fixed design-time WCET assignment: every policy judges sets
+/// whose `C_LO` came from the same Chebyshev `n = 3` design, so the
+/// comparison isolates the *scheduling* policy.
+fn arena_wcet() -> WcetPolicy {
+    WcetPolicy::ChebyshevUniform { n: 3.0 }
+}
+
+/// The arena's simulation window. Long enough for a few hundred jobs per
+/// task at the default generator periods; short enough that a unit stays
+/// in the low-millisecond range.
+const ARENA_HORIZON_SECS: u64 = 5;
+
+/// `policy_arena`: every [`PolicySpec`] in the roster races over shared
+/// seeded task sets as the bound utilisation varies. Points are
+/// policy-major (`point = policy_index * |u| + u_index`), mirroring
+/// `fig5`; the *evaluation* seed depends only on `(u_index, replica)`, so
+/// each policy admits and simulates bit-identical task sets and the
+/// per-point comparison is paired.
+fn policy_arena(opts: &CatalogOptions) -> Result<Campaign, ExpError> {
+    let seed = opts.seed.unwrap_or(11);
+    let replicas = opts.sets.unwrap_or(200);
+    // The default axis spans the overload transition: below 1.0 every
+    // entrant admits nearly everything; the interesting separation —
+    // demand vs utilisation tests, containment vs plain Liu — happens as
+    // the bound utilisation crosses 1.
+    let u_values: Vec<f64> = opts
+        .points
+        .clone()
+        .unwrap_or_else(|| vec![0.6, 0.8, 1.0, 1.1, 1.2, 1.3]);
+    let roster = PolicySpec::arena_roster();
+    // Gate the roster before any unit runs: a duplicate name would merge
+    // two policies into one aggregate row; a bad fraction would fail every
+    // unit of one policy block, thousands of units into the campaign.
+    let lint = mc_lint::lint_policy_roster(&roster);
+    if lint.has_errors() {
+        return Err(ExpError::Config(format!(
+            "policy roster failed lint:\n{lint}"
+        )));
+    }
+    let mut points = Vec::new();
+    for (pi, policy) in roster.iter().enumerate() {
+        for (ui, &u) in u_values.iter().enumerate() {
+            points.push(PointSpec::new(
+                format!("{}/u{u:.2}", policy.name()),
+                vec![
+                    Param::new("policy", pi as f64),
+                    Param::new("u", u),
+                    Param::new("u_index", ui as f64),
+                ],
+            ));
+        }
+    }
+    let spec = CampaignSpec {
+        name: "policy_arena".into(),
+        seed,
+        params: vec![],
+        points,
+        replicas,
+    };
+    Ok(Campaign {
+        spec,
+        runner: Box::new(PolicyArenaRunner {
+            roster,
+            u_values,
+            seed,
+        }),
+    })
+}
+
+struct PolicyArenaRunner {
+    roster: Vec<PolicySpec>,
+    u_values: Vec<f64>,
+    seed: u64,
+}
+
+impl UnitRunner for PolicyArenaRunner {
+    fn run_unit(&self, unit: &WorkUnit, _inner_threads: usize) -> Result<Vec<Metric>, ExpError> {
+        let u_count = self.u_values.len();
+        let policy = &self.roster[unit.point / u_count];
+        let u_index = unit.point % u_count;
+        let u = self.u_values[u_index];
+        // Policy-independent seed: every policy sees the same task sets.
+        let eval_seed = derive_set_seed(self.seed, u_index, unit.replica);
+        let base = SimConfig::new(Duration::from_secs(ARENA_HORIZON_SECS));
+        let e = evaluate_arena_one_set(
+            u,
+            &arena_wcet(),
+            policy,
+            &GeneratorConfig::default(),
+            eval_seed,
+            &base,
+        )?;
+        Ok(vec![
+            Metric::new("schedulable", e.schedulable),
+            Metric::new("service_level", e.service_level),
+            Metric::new("switch_rate", e.switch_rate),
+            Metric::new("task_switch_rate", e.task_switch_rate),
+            Metric::new("lc_qos", e.lc_qos),
+            Metric::new("hc_miss_rate", e.hc_miss_rate),
+        ])
+    }
+}
+
 fn exec_err(e: mc_exec::ExecError) -> ExpError {
     ExpError::Config(format!("benchmark error: {e}"))
 }
@@ -399,6 +506,16 @@ mod tests {
                 },
             ),
             ("ablation_sigma", CatalogOptions::default()),
+            (
+                "policy_arena",
+                CatalogOptions {
+                    sets: Some(2),
+                    points: Some(vec![0.5, 0.8]),
+                    seed: Some(9),
+                    ..CatalogOptions::default()
+                },
+            ),
+            ("policy_arena", CatalogOptions::default()),
         ];
         for (name, opts) in cases {
             let original = build(name, &opts).unwrap();
@@ -488,6 +605,83 @@ mod tests {
             metrics[1].value.to_bits(),
             trace.overrun_rate(level).unwrap().rate().to_bits()
         );
+    }
+
+    #[test]
+    fn policy_arena_axis_is_policy_major_over_the_roster() {
+        let c = build("policy_arena", &CatalogOptions::default()).unwrap();
+        assert_eq!(c.spec.replicas, 200);
+        assert_eq!(c.spec.seed, 11);
+        assert_eq!(c.spec.points.len(), 5 * 6, "5 policies × 6 utilisations");
+        assert_eq!(c.spec.points[0].label, "edf_vd_drop/u0.60");
+        assert_eq!(c.spec.points[6].label, "liu_degrade_0.50/u0.60");
+        assert_eq!(c.spec.points[29].label, "boudjadar_combined_0.50/u1.30");
+        assert_eq!(c.spec.points[13].param("u"), Some(0.8));
+        assert_eq!(c.spec.points[13].param("u_index"), Some(1.0));
+        assert_eq!(c.spec.points[13].param("policy"), Some(2.0));
+    }
+
+    #[test]
+    fn policy_arena_units_share_task_sets_across_policies() {
+        // The paired-comparison contract: the evaluation seed ignores the
+        // policy index, so drop-all and degrade simulate the same sets
+        // with the same sampled execution times — their switch rates on a
+        // shared replica agree bit-for-bit.
+        let opts = CatalogOptions {
+            sets: Some(2),
+            points: Some(vec![0.5]),
+            ..CatalogOptions::default()
+        };
+        let c = build("policy_arena", &opts).unwrap();
+        // Point 0 = edf_vd_drop/u0.50, point 1 = liu_degrade_0.50/u0.50.
+        let drop = c.runner.run_unit(&c.spec.unit(1), 1).unwrap();
+        let degrade = c.runner.run_unit(&c.spec.unit(3), 1).unwrap();
+        let col = |ms: &[Metric], name: &str| {
+            ms.iter().find(|m| m.name == name).map(|m| m.value).unwrap()
+        };
+        assert_eq!(
+            col(&drop, "switch_rate").to_bits(),
+            col(&degrade, "switch_rate").to_bits()
+        );
+        // Every unit reports the full six-column schema, in order.
+        let schema: Vec<&str> = drop.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            schema,
+            [
+                "schedulable",
+                "service_level",
+                "switch_rate",
+                "task_switch_rate",
+                "lc_qos",
+                "hc_miss_rate",
+            ]
+        );
+    }
+
+    #[test]
+    fn policy_arena_campaign_runs_and_aggregates_end_to_end() {
+        let opts = CatalogOptions {
+            sets: Some(2),
+            points: Some(vec![0.5]),
+            ..CatalogOptions::default()
+        };
+        let c = build("policy_arena", &opts).unwrap();
+        let mut store = Store::in_memory(&c.spec);
+        let summary = run_campaign(
+            &c.spec,
+            c.runner.as_ref(),
+            &mut store,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.ran, 5 * 2, "5 policies × 1 u × 2 replicas");
+        let aggs = crate::aggregate::aggregate(&c.spec, store.records()).unwrap();
+        assert_eq!(aggs.len(), 5, "one row per policy at the single u");
+        for agg in &aggs {
+            let s = agg.mean("schedulable").unwrap();
+            assert!((0.0..=1.0).contains(&s), "{}: {s}", agg.label);
+            assert!(agg.mean("lc_qos").is_some());
+        }
     }
 
     #[test]

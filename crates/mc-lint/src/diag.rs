@@ -26,7 +26,8 @@ impl fmt::Display for Severity {
 }
 
 /// Stable diagnostic codes. `C0xx` cover CFG structure, `T0xx` task-set
-/// invariants, `S0xx` scheme/GA/generator configuration.
+/// invariants, `S0xx` scheme/GA/generator configuration, `P0xx` the
+/// scheduling-policy rosters campaigns race.
 ///
 /// Codes are append-only: a code's meaning never changes once released,
 /// and retired codes are not reused.
@@ -124,6 +125,13 @@ pub enum Code {
     U004,
     /// Stale allowlist entry: it suppressed no findings.
     U005,
+    /// Scheduling-policy parameter out of range (fraction/floor outside
+    /// `[0, 1]` or non-finite).
+    P001,
+    /// Duplicate scheduling-policy names in one roster.
+    P002,
+    /// Policy roster is empty.
+    P003,
 }
 
 impl Code {
@@ -132,9 +140,9 @@ impl Code {
     pub fn severity(self) -> Severity {
         use Code::{
             C001, C002, C003, C004, C005, C006, C007, C008, C009, D001, D002, D003, D004, E001,
-            E002, E003, E004, E005, E006, S001, S002, S003, S004, S005, S006, S007, S008, S009,
-            T001, T002, T003, T004, T005, T006, T007, T008, T009, T010, T011, T012, U001, U002,
-            U003, U004, U005,
+            E002, E003, E004, E005, E006, P001, P002, P003, S001, S002, S003, S004, S005, S006,
+            S007, S008, S009, T001, T002, T003, T004, T005, T006, T007, T008, T009, T010, T011,
+            T012, U001, U002, U003, U004, U005,
         };
         match self {
             C001 | C002 | C003 | C004 | C005 | C006 => Severity::Error,
@@ -153,11 +161,12 @@ impl Code {
             U001 | U003 => Severity::Error,
             U002 | U005 => Severity::Warning,
             U004 => Severity::Info,
+            P001 | P002 | P003 => Severity::Error,
         }
     }
 
-    /// The code's class letter (`C`, `T`, `S`, `E`, `D`, or `U`) — the
-    /// granularity `--deny`/`--allow` accept besides full codes.
+    /// The code's class letter (`C`, `T`, `S`, `E`, `D`, `U`, or `P`) —
+    /// the granularity `--deny`/`--allow` accept besides full codes.
     #[must_use]
     pub fn class(self) -> char {
         self.to_string()
@@ -216,6 +225,9 @@ impl Code {
             Code::U003 => "`.unwrap()` or undocumented `.expect(..)` in library code",
             Code::U004 => "documented `.expect(\"…\")` panic site in library code",
             Code::U005 => "stale allowlist entry (suppressed no findings)",
+            Code::P001 => "scheduling-policy parameter out of range",
+            Code::P002 => "duplicate scheduling-policy names in one roster",
+            Code::P003 => "policy roster is empty",
         }
     }
 }
@@ -273,6 +285,9 @@ pub const ALL_CODES: &[Code] = &[
     Code::U003,
     Code::U004,
     Code::U005,
+    Code::P001,
+    Code::P002,
+    Code::P003,
 ];
 
 /// The exit-code policy shared by every `chebymc lint` pass: which
@@ -582,7 +597,7 @@ mod tests {
             assert!(!code.description().is_empty());
             let _ = code.severity();
             assert!(
-                "CTSEDU".contains(code.class()),
+                "CTSEDUP".contains(code.class()),
                 "unexpected class for {code}"
             );
         }

@@ -14,6 +14,9 @@
 //! * [`exp_pass`] checks experiment-campaign specifications (`E0xx`):
 //!   axis/replica emptiness, shard validity, label collisions, and output
 //!   path clashes, so `chebymc exp run` fails fast with named diagnostics.
+//! * [`policy_pass`] checks scheduling-policy rosters (`P0xx`): parameter
+//!   ranges, duplicate policy names, and empty rosters, gating the
+//!   `policy_arena` campaign before any unit runs.
 //! * [`source_pass`] audits the workspace's *own Rust sources* for
 //!   determinism and soundness hazards (`D0xx`/`U0xx`): unordered hash
 //!   iteration, wall-clock reads, unseeded randomness, unordered float
@@ -37,6 +40,7 @@
 pub mod cfg_pass;
 pub mod diag;
 pub mod exp_pass;
+pub mod policy_pass;
 pub mod scheme_pass;
 pub mod source_pass;
 pub mod task_pass;
@@ -44,6 +48,7 @@ pub mod task_pass;
 pub use cfg_pass::{analyze_structure, lint_cfg, CfgStructure};
 pub use diag::{Code, Diagnostic, Gate, LintReport, Severity, ALL_CODES};
 pub use exp_pass::{lint_campaign, CampaignCheck};
+pub use policy_pass::lint_policy_roster;
 pub use scheme_pass::{lint_ga_config, lint_generator_config, lint_problem_config};
 pub use source_pass::{
     collect_workspace_files, lint_source_file, lint_workspace_sources, Allowlist, SourceAudit,

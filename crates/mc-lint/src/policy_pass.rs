@@ -1,0 +1,82 @@
+//! Scheduling-policy roster lint pass (`P0xx`).
+//!
+//! A campaign that races a roster of [`PolicySpec`] entrants (the
+//! `policy_arena` catalog entry) keys its stores and merge paths on the
+//! policy *names*: a duplicate name silently folds two policies into one
+//! aggregate row, and an out-of-range fraction would otherwise surface as
+//! a per-unit error thousands of times into the run. This pass reports
+//! every roster defect at once, before any unit executes.
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use mc_sched::policy::{PolicySpec, SchedulingPolicy};
+
+/// Lints a scheduling-policy roster: parameter ranges (`P001`), name
+/// collisions (`P002`), and emptiness (`P003`).
+#[must_use]
+pub fn lint_policy_roster(roster: &[PolicySpec]) -> LintReport {
+    let mut report = LintReport::new();
+    if roster.is_empty() {
+        report.push(Diagnostic::new(
+            Code::P003,
+            "policy roster",
+            "the roster has no policies to race",
+        ));
+        return report;
+    }
+    let mut seen: Vec<String> = Vec::new();
+    for (i, policy) in roster.iter().enumerate() {
+        let name = policy.name();
+        let source = format!("policy[{i}] {name}");
+        if let Err(e) = policy.validate() {
+            report.push(Diagnostic::new(Code::P001, source.clone(), e.to_string()));
+        }
+        if seen.contains(&name) {
+            report.push(Diagnostic::new(
+                Code::P002,
+                source,
+                format!("name `{name}` already used earlier in the roster"),
+            ));
+        } else {
+            seen.push(name);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_arena_roster_is_clean() {
+        assert!(lint_policy_roster(&PolicySpec::arena_roster()).is_clean());
+    }
+
+    #[test]
+    fn empty_roster_is_a_single_error() {
+        let report = lint_policy_roster(&[]);
+        assert_eq!(report.codes(), vec![Code::P003]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn bad_fraction_and_duplicate_name_both_reported() {
+        let roster = [
+            PolicySpec::LiuDegrade { fraction: 0.5 },
+            PolicySpec::LiuDegrade { fraction: 0.5 },
+            PolicySpec::FlexibleUtilization { min_fraction: 1.5 },
+        ];
+        let report = lint_policy_roster(&roster);
+        assert_eq!(report.codes(), vec![Code::P002, Code::P001]);
+        // The duplicate names the colliding roster entry.
+        let dup = report.iter().find(|d| d.code == Code::P002).unwrap();
+        assert!(dup.source.contains("policy[1]"), "{}", dup.source);
+        assert!(dup.message.contains("liu_degrade_0.50"), "{}", dup.message);
+    }
+
+    #[test]
+    fn nan_fraction_is_out_of_range() {
+        let report = lint_policy_roster(&[PolicySpec::CombinedModeSwitch { fraction: f64::NAN }]);
+        assert_eq!(report.codes(), vec![Code::P001]);
+    }
+}

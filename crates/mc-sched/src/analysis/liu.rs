@@ -55,15 +55,34 @@ pub fn conditions_hold(u_hc_lo: f64, u_hc_hi: f64, u_lc_lo: f64, degradation: f6
         // Pure-LC system: HI mode must still fit the degraded demand.
         return u_hc_hi + u_lc_hi <= 1.0 + EPS;
     }
-    let x = if u_hc_lo <= EPS {
-        0.0
-    } else {
-        u_hc_lo / (1.0 - u_lc_lo)
-    };
-    if x > 1.0 + EPS {
+    let Some(x) = x_factor(u_hc_lo, u_lc_lo) else {
         return false;
-    }
+    };
     x * u_lc_lo + (1.0 - x) * u_lc_hi + u_hc_hi <= 1.0 + EPS
+}
+
+/// The deadline-shrinking factor the degraded-quality HI-mode condition
+/// actually applies: `x = U_HC^LO / (1 − U_LC^LO)`, and `0` when there is
+/// no HC demand (the condition then weighs the degraded LC demand alone —
+/// unlike [`super::edf_vd::x_factor`], which reports `1.0` there because
+/// Baruah's rewritten condition has no `(1 − x)` term).
+///
+/// Returns `None` in the pure-LC regime (`U_LC^LO ≥ 1`, where the test
+/// uses no factor) and when the factor would exceed `1` (where the test
+/// rejects outright) — exactly the branches of [`conditions_hold`].
+pub fn x_factor(u_hc_lo: f64, u_lc_lo: f64) -> Option<f64> {
+    if u_lc_lo >= 1.0 - EPS {
+        return None;
+    }
+    if u_hc_lo <= EPS {
+        return Some(0.0);
+    }
+    let x = u_hc_lo / (1.0 - u_lc_lo);
+    if x > 1.0 + EPS {
+        None
+    } else {
+        Some(x.min(1.0))
+    }
 }
 
 /// Runs the degraded-quality analysis on a task set.
@@ -76,7 +95,7 @@ pub fn analyze(ts: &TaskSet, degradation: f64) -> LiuAnalysis {
         u_hc_hi,
         u_lc_lo,
         u_lc_hi: degradation * u_lc_lo,
-        x: super::edf_vd::x_factor(u_hc_lo, u_lc_lo),
+        x: x_factor(u_hc_lo, u_lc_lo),
         schedulable: conditions_hold(u_hc_lo, u_hc_hi, u_lc_lo, degradation),
     }
 }
@@ -93,6 +112,12 @@ pub fn max_u_lc_lo(u_hc_lo: f64, u_hc_hi: f64, degradation: f64) -> f64 {
         degradation.is_finite() && (0.0..=1.0).contains(&degradation),
         "degradation factor must be in [0, 1]"
     );
+    if degradation == 0.0 {
+        // With no retained LC service the HI-mode condition is exactly
+        // Baruah's; reuse the closed form so `f = 0` agrees bit-for-bit
+        // with `edf_vd::max_u_lc_lo` instead of to bisection tolerance.
+        return super::edf_vd::max_u_lc_lo(u_hc_lo, u_hc_hi);
+    }
     if !conditions_hold(u_hc_lo, u_hc_hi, 0.0, degradation) {
         return 0.0;
     }
@@ -189,6 +214,65 @@ mod tests {
     }
 
     #[test]
+    fn x_factor_matches_conditions_at_zero_hc() {
+        // Regression: `analyze` used to report `edf_vd::x_factor` —
+        // `Some(1.0)` when `u_hc_lo ≤ EPS` — while `conditions_hold`
+        // tested `x = 0` for the same inputs.
+        assert_eq!(x_factor(0.0, 0.3), Some(0.0));
+        assert_eq!(super::super::edf_vd::x_factor(0.0, 0.3), Some(1.0));
+
+        let ts = mc_task::TaskSet::from_tasks(vec![
+            McTask::builder(TaskId::new(0))
+                .period(Duration::from_millis(100))
+                .c_lo(Duration::from_millis(30))
+                .build()
+                .unwrap(),
+            McTask::builder(TaskId::new(1))
+                .period(Duration::from_millis(50))
+                .c_lo(Duration::from_millis(20))
+                .build()
+                .unwrap(),
+        ])
+        .unwrap();
+        let a = analyze(&ts, 0.5);
+        assert_eq!(a.x, Some(0.0));
+        assert!(a.schedulable);
+        // The reported factor reproduces the HI-mode condition verdict.
+        let x = a.x.unwrap();
+        assert!(x * a.u_lc_lo + (1.0 - x) * a.u_lc_hi + a.u_hc_hi <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn x_factor_pure_lc_and_overload_edges() {
+        // Pure-LC regime: the test uses no factor.
+        assert_eq!(x_factor(0.0, 1.0), None);
+        // Factor above 1 is rejected, matching `conditions_hold`.
+        assert_eq!(x_factor(0.3, 0.8), None);
+        assert!(!conditions_hold(0.3, 0.4, 0.8, 0.5));
+
+        // A fully-utilised pure-LC set is schedulable under degradation
+        // and reports no shrinking factor.
+        let ts = mc_task::TaskSet::from_tasks(vec![McTask::builder(TaskId::new(0))
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(100))
+            .build()
+            .unwrap()])
+        .unwrap();
+        let a = analyze(&ts, 0.5);
+        assert_eq!(a.x, None);
+        assert!(a.schedulable);
+    }
+
+    #[test]
+    fn zero_degradation_max_u_lc_lo_delegates_to_closed_form() {
+        for (a, b) in [(0.2, 0.8), (0.9, 0.95), (0.0, 0.0), (0.5, 1.2)] {
+            let m = max_u_lc_lo(a, b, 0.0);
+            let e = super::super::edf_vd::max_u_lc_lo(a, b);
+            assert_eq!(m.to_bits(), e.to_bits(), "({a},{b})");
+        }
+    }
+
+    #[test]
     fn analyze_composes() {
         let ts = mc_task::TaskSet::from_tasks(vec![
             McTask::builder(TaskId::new(0))
@@ -242,6 +326,45 @@ mod tests {
                 let ma = max_u_lc_lo(u_hc_lo, u_hc_hi, fa);
                 let mb = max_u_lc_lo(u_hc_lo, u_hc_hi, fb);
                 prop_assert!(mb <= ma + 1e-6);
+            }
+
+            /// The bisection boundary agrees with `conditions_hold`:
+            /// the conditions are downward-closed in `u_lc_lo`, hold
+            /// strictly below `max_u_lc_lo` and fail strictly above it.
+            #[test]
+            fn max_u_lc_lo_is_the_conditions_flip_point(
+                u_hc_lo in 0.0..0.9f64,
+                extra in 0.0..0.5f64,
+                f in 0.0..=1.0f64,
+                u in 0.0..1.0f64,
+            ) {
+                let u_hc_hi = (u_hc_lo + extra).min(1.0);
+                let m = max_u_lc_lo(u_hc_lo, u_hc_hi, f);
+                if u < m - 1e-6 {
+                    prop_assert!(
+                        conditions_hold(u_hc_lo, u_hc_hi, u, f),
+                        "below flip: u={u} m={m}"
+                    );
+                }
+                if u > m + 1e-6 {
+                    prop_assert!(
+                        !conditions_hold(u_hc_lo, u_hc_hi, u, f),
+                        "above flip: u={u} m={m}"
+                    );
+                }
+            }
+
+            /// `degradation = 0` reproduces the paper's closed-form
+            /// `max(U_LC^LO)` (edf_vd Eqs. 11–12) bit-for-bit.
+            #[test]
+            fn zero_degradation_max_matches_edf_vd_exactly(
+                u_hc_lo in 0.0..1.0f64,
+                extra in 0.0..1.0f64,
+            ) {
+                let u_hc_hi = (u_hc_lo + extra).min(1.0);
+                let m = max_u_lc_lo(u_hc_lo, u_hc_hi, 0.0);
+                let e = super::super::super::edf_vd::max_u_lc_lo(u_hc_lo, u_hc_hi);
+                prop_assert_eq!(m.to_bits(), e.to_bits());
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Scheduling substrate for the `chebymc` workspace.
 //!
-//! Two halves:
+//! Three layers:
 //!
 //! * [`analysis`] — design-time schedulability tests: plain EDF
 //!   (Liu–Layland), EDF-VD (Baruah et al., RTNS 2012 — the paper's Eq. 8 and
@@ -8,8 +8,11 @@
 //!   variant (Liu et al., RTSS 2016) used as the second baseline in Fig. 6.
 //! * [`sim`] — a discrete-event preemptive uniprocessor simulator of the
 //!   paper's §III operational model: EDF-VD dispatching, mode switching on
-//!   `C_LO` overrun, LC dropping/degradation, and switch-back when the HC
-//!   queue drains.
+//!   `C_LO` overrun (system-level or combined task-level/system-level),
+//!   LC dropping/degradation, and switch-back when the HC queue drains.
+//! * [`policy`] — the [`policy::SchedulingPolicy`] seam pairing each
+//!   admission test with the runtime behaviour it certifies, including the
+//!   related-work entrants raced by the `policy_arena` campaign.
 //!
 //! # Example
 //!
@@ -26,10 +29,17 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod policy;
 pub mod sim;
 
 use std::error::Error;
 use std::fmt;
+
+/// The simulation-facing name for [`SchedError`]: every error `simulate`
+/// can return (invalid config, empty task set, divergence guard) is a
+/// `SchedError`, and callers holding a simulator result see it under this
+/// alias.
+pub type SimError = SchedError;
 
 /// Errors produced by scheduling analyses and simulation.
 #[derive(Debug, Clone, PartialEq)]

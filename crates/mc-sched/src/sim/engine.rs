@@ -11,6 +11,22 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+/// How `C_LO` overruns trigger criticality-mode changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ModeSwitchPolicy {
+    /// The first `C_LO` overrun switches the whole system to HI mode
+    /// (Baruah et al.; Liu et al.). This is the default and the behaviour
+    /// all earlier campaign stores were recorded under.
+    #[default]
+    System,
+    /// Combined task-level/system-level switching (Boudjadar et al.):
+    /// a single overrunning HC job is contained at task level — it runs on
+    /// toward `C_HI` while the system stays in LO mode and LC service
+    /// continues untouched. Only a second concurrent overrun escalates to
+    /// a system-level HI switch.
+    TaskLevelThenSystem,
+}
+
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -28,6 +44,11 @@ pub struct SimConfig {
     /// period). `ZERO` (the default) gives strictly periodic releases.
     #[serde(default)]
     pub release_jitter: Duration,
+    /// How `C_LO` overruns trigger mode changes. The default,
+    /// [`ModeSwitchPolicy::System`], preserves the classic EDF-VD
+    /// semantics byte-for-byte.
+    #[serde(default)]
+    pub mode_switch: ModeSwitchPolicy,
     /// RNG seed for stochastic execution models.
     pub seed: u64,
 }
@@ -42,6 +63,7 @@ impl SimConfig {
             exec_model: JobExecModel::Profile,
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed: 0,
         }
     }
@@ -85,6 +107,9 @@ struct Job {
     budget_lo: Duration,
     /// Set when HI mode truncated this (LC) job's demand.
     degraded: bool,
+    /// Set when a task-level mode switch already contained this (HC) job's
+    /// overrun, so it is counted once.
+    contained: bool,
 }
 
 /// Runs one simulation of `ts` under `cfg` and returns the collected
@@ -163,12 +188,14 @@ pub fn simulate(ts: &TaskSet, cfg: &SimConfig) -> Result<SimMetrics, SchedError>
             })
             .map(|(i, _)| i);
 
-        // Next event time.
+        // Next event time. An empty release queue is a structural error
+        // (guarded above), never a panic: mc-serve workers simulate task
+        // sets rebuilt from shipped specs and must fail a unit, not crash.
         let t_release = next_release
             .iter()
             .copied()
             .min()
-            .expect("non-empty task set");
+            .ok_or(SchedError::EmptyTaskSet)?;
         let mut t_next = horizon.min(t_release);
         if let Some(ri) = running_idx {
             let j = &pending[ri];
@@ -224,12 +251,32 @@ pub fn simulate(ts: &TaskSet, cfg: &SimConfig) -> Result<SimMetrics, SchedError>
             }
         }
 
-        // 2. Budget overrun of the (possibly still running) HC job → HI mode.
+        // 2. Budget overrun of (possibly still running) HC jobs.
         if mode == Criticality::Lo {
-            let overrun = pending.iter().any(|j| {
-                j.criticality.is_high() && j.executed >= j.budget_lo && !j.remaining.is_zero()
-            });
-            if overrun {
+            let escalate = match cfg.mode_switch {
+                ModeSwitchPolicy::System => pending.iter().any(|j| {
+                    j.criticality.is_high() && j.executed >= j.budget_lo && !j.remaining.is_zero()
+                }),
+                ModeSwitchPolicy::TaskLevelThenSystem => {
+                    // Contain each overrunning job at task level (counted
+                    // once per job); escalate only on concurrent overruns.
+                    let mut overrunning = 0usize;
+                    for j in pending.iter_mut() {
+                        if j.criticality.is_high()
+                            && j.executed >= j.budget_lo
+                            && !j.remaining.is_zero()
+                        {
+                            overrunning += 1;
+                            if !j.contained {
+                                j.contained = true;
+                                metrics.task_level_switches += 1;
+                            }
+                        }
+                    }
+                    overrunning >= 2
+                }
+            };
+            if escalate {
                 mode = Criticality::Hi;
                 hi_entered_at = Some(clock);
                 metrics.mode_switches += 1;
@@ -312,6 +359,7 @@ pub fn simulate(ts: &TaskSet, cfg: &SimConfig) -> Result<SimMetrics, SchedError>
                 executed: Duration::ZERO,
                 budget_lo: task.c_lo(),
                 degraded,
+                contained: false,
             });
         }
     }
@@ -400,6 +448,7 @@ mod tests {
             exec_model: model,
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed: 42,
         }
     }
@@ -555,6 +604,44 @@ mod tests {
     }
 
     #[test]
+    fn task_level_policy_contains_a_single_overrunning_task() {
+        // One HC task: overruns can never be concurrent, so containment
+        // must absorb every one of them — no system switch, LC untouched.
+        let mut c = cfg(JobExecModel::FullHiBudget);
+        c.mode_switch = ModeSwitchPolicy::TaskLevelThenSystem;
+        let m = simulate(&schedulable_set(), &c).unwrap();
+        assert_eq!(m.mode_switches, 0);
+        assert!(m.task_level_switches > 0);
+        assert_eq!(m.task_level_switches, m.hc_released);
+        assert_eq!(m.time_in_hi, Duration::ZERO);
+        assert_eq!(m.lc_lost(), 0, "contained overruns never touch LC work");
+        assert_eq!(m.lc_completed, 100);
+        assert_eq!(m.hc_deadline_misses, 0);
+    }
+
+    #[test]
+    fn concurrent_overruns_escalate_to_a_system_switch() {
+        // Two HC tasks shaped so a short-period task overruns while a
+        // long, contained job is still pending.
+        let ts = TaskSet::from_tasks(vec![hc(0, 20, 100, 200), hc(1, 10, 20, 30)]).unwrap();
+        let mut c = cfg(JobExecModel::FullHiBudget);
+        c.mode_switch = ModeSwitchPolicy::TaskLevelThenSystem;
+        let m = simulate(&ts, &c).unwrap();
+        assert!(m.task_level_switches > 0, "first overruns are contained");
+        assert!(m.mode_switches > 0, "concurrent overruns must escalate");
+        assert!(m.time_in_hi > Duration::ZERO);
+    }
+
+    #[test]
+    fn system_policy_never_counts_task_level_switches() {
+        // The default policy is byte-identical to the pre-seam simulator;
+        // in particular the new counter stays zero.
+        let m = simulate(&schedulable_set(), &cfg(JobExecModel::FullHiBudget)).unwrap();
+        assert!(m.mode_switches > 0);
+        assert_eq!(m.task_level_switches, 0);
+    }
+
+    #[test]
     fn release_jitter_thins_the_release_stream() {
         let ts = schedulable_set();
         let mut c = cfg(JobExecModel::FullLoBudget);
@@ -619,6 +706,7 @@ mod tests {
                     exec_model: JobExecModel::FullHiBudget,
                     x_factor: None,
                     release_jitter: Duration::ZERO,
+                    mode_switch: ModeSwitchPolicy::System,
                     seed,
                 };
                 let m = simulate(&ts, &c).unwrap();
@@ -637,6 +725,7 @@ mod tests {
                     exec_model: JobExecModel::Profile,
                     x_factor: None,
                     release_jitter: Duration::ZERO,
+                    mode_switch: ModeSwitchPolicy::System,
                     seed,
                 };
                 let m = simulate(&ts, &c).unwrap();

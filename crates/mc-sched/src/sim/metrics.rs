@@ -24,8 +24,13 @@ pub struct SimMetrics {
     pub hc_deadline_misses: u64,
     /// LC deadline misses.
     pub lc_deadline_misses: u64,
-    /// LO → HI transitions.
+    /// LO → HI transitions (system-level mode switches).
     pub mode_switches: u64,
+    /// Overruns contained at task level without a system-level switch
+    /// ([`super::ModeSwitchPolicy::TaskLevelThenSystem`] only; absent in
+    /// older serialized records, hence the default).
+    #[serde(default)]
+    pub task_level_switches: u64,
     /// Time spent in HI mode.
     pub time_in_hi: Duration,
     /// Time the processor was busy.

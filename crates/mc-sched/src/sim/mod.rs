@@ -23,7 +23,7 @@ mod exec_model;
 mod metrics;
 pub mod multi;
 
-pub use engine::{simulate, SimConfig};
+pub use engine::{simulate, ModeSwitchPolicy, SimConfig};
 pub use exec_model::JobExecModel;
 pub use metrics::SimMetrics;
 pub use multi::{simulate_multi, MultiExecModel, MultiSimConfig, MultiSimMetrics};

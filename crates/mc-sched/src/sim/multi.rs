@@ -402,6 +402,7 @@ mod tests {
                 exec_model: crate::sim::JobExecModel::FullHiBudget,
                 x_factor: None,
                 release_jitter: Duration::ZERO,
+                mode_switch: crate::sim::ModeSwitchPolicy::System,
                 seed: 1,
             },
         )

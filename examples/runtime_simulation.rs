@@ -43,6 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 exec_model: model,
                 x_factor: None,
                 release_jitter: Duration::ZERO,
+                mode_switch: ModeSwitchPolicy::System,
                 seed: 13,
             };
             let m = simulate(&ts, &cfg)?;

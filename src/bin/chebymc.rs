@@ -35,7 +35,7 @@ USAGE:
       or one uniform factor with --uniform-n) and report the metrics.
 
   chebymc simulate <workload.json> [--seconds <s>] [--seed <n>]
-                   [--policy drop|degrade:<f>] [--model profile|lo|hi|p:<prob>]
+                   [--policy drop|degrade:<f>|combined:<f>] [--model profile|lo|hi|p:<prob>]
       Run the discrete-event simulator and report runtime behaviour.
 
   chebymc wcet <program.prog>
@@ -1045,10 +1045,39 @@ fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let workload = load_workload(path)?;
     let seconds: u64 = seconds.as_deref().unwrap_or("60").parse()?;
     let seed: u64 = seed.as_deref().unwrap_or("0").parse()?;
-    let lc_policy = match policy.as_deref().unwrap_or("drop") {
-        "drop" => LcPolicy::DropAll,
-        s if s.starts_with("degrade:") => LcPolicy::Degrade(s["degrade:".len()..].parse()?),
-        other => return Err(format!("unknown policy `{other}`").into()),
+    // Validate degradation fractions here, at parse time, so the user sees
+    // `--policy degrade:1.5` rejected with the offending value instead of
+    // a downstream `LcPolicy::is_valid` failure.
+    let parse_fraction = |raw: &str| -> Result<f64, Box<dyn std::error::Error>> {
+        let f: f64 = raw
+            .parse()
+            .map_err(|e| format!("invalid degradation fraction `{raw}`: {e}"))?;
+        if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+            return Err(format!(
+                "degradation fraction must be a finite value in [0, 1], got `{raw}`"
+            )
+            .into());
+        }
+        Ok(f)
+    };
+    let (lc_policy, mode_switch) = match policy.as_deref().unwrap_or("drop") {
+        "drop" => (LcPolicy::DropAll, ModeSwitchPolicy::System),
+        s if s.starts_with("degrade:") => (
+            LcPolicy::Degrade(parse_fraction(&s["degrade:".len()..])?),
+            ModeSwitchPolicy::System,
+        ),
+        // Boudjadar-style combined switching: contain a single overrun at
+        // task level, degrade LC only after a system-level escalation.
+        s if s.starts_with("combined:") => (
+            LcPolicy::Degrade(parse_fraction(&s["combined:".len()..])?),
+            ModeSwitchPolicy::TaskLevelThenSystem,
+        ),
+        other => {
+            return Err(format!(
+                "unknown policy `{other}` (expected drop, degrade:<f>, or combined:<f>)"
+            )
+            .into())
+        }
     };
     let exec_model = match model.as_deref().unwrap_or("profile") {
         "profile" => JobExecModel::Profile,
@@ -1063,6 +1092,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         exec_model,
         x_factor: None,
         release_jitter: Duration::ZERO,
+        mode_switch,
         seed,
     };
     let m = simulate(&workload.tasks, &cfg)?;
@@ -1072,6 +1102,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         m.hc_released, m.lc_released
     );
     println!("  mode switches        = {}", m.mode_switches);
+    if cfg.mode_switch == ModeSwitchPolicy::TaskLevelThenSystem {
+        println!("  task-level switches  = {}", m.task_level_switches);
+    }
     println!("  HC deadline misses   = {}", m.hc_deadline_misses);
     println!("  LC deadline misses   = {}", m.lc_deadline_misses);
     println!("  LC lost to HI mode   = {}", m.lc_lost());

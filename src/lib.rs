@@ -68,8 +68,11 @@ pub mod prelude {
     pub use mc_exec::{Benchmark, ExecutionModel, ExecutionTrace};
     pub use mc_lint::{LintBundle, LintReport, Severity};
     pub use mc_opt::{GaConfig, ProblemConfig, WcetProblem};
-    pub use mc_sched::analysis::{edf, edf_vd, liu};
-    pub use mc_sched::sim::{simulate, JobExecModel, LcPolicy, SimConfig, SimMetrics};
+    pub use mc_sched::analysis::{dbf, edf, edf_vd, liu};
+    pub use mc_sched::policy::{PolicySpec, PolicyVerdict, RuntimeBehaviour, SchedulingPolicy};
+    pub use mc_sched::sim::{
+        simulate, JobExecModel, LcPolicy, ModeSwitchPolicy, SimConfig, SimMetrics,
+    };
     pub use mc_stats::chebyshev::{n_for_probability, one_sided_bound};
     pub use mc_stats::dist::Dist;
     pub use mc_stats::summary::Summary;

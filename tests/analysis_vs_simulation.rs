@@ -58,6 +58,7 @@ fn demand_test_agrees_with_simulation_both_ways() {
             exec_model: JobExecModel::FullLoBudget,
             x_factor: Some(1.0), // plain EDF over real deadlines
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed,
         };
         let sim = simulate(&ts, &cfg).unwrap();
@@ -117,6 +118,7 @@ fn eq8_sufficiency_has_no_runtime_counterexamples() {
             exec_model: JobExecModel::FullHiBudget,
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed,
         };
         let sim = simulate(&ts, &cfg).unwrap();

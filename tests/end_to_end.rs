@@ -64,6 +64,7 @@ fn measured_traces_drive_a_safe_design() {
         exec_model: JobExecModel::Profile,
         x_factor: None,
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 42,
     };
     let sim = simulate(&ts, &cfg).unwrap();
@@ -113,6 +114,7 @@ fn random_systems_designed_by_the_scheme_protect_hc_tasks() {
             exec_model: JobExecModel::FullHiBudget, // adversarial
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed,
         };
         let sim = simulate(&ts, &cfg).unwrap();
@@ -143,6 +145,7 @@ fn analysis_and_simulation_agree_without_overruns() {
             exec_model: JobExecModel::FullLoBudget,
             x_factor: None,
             release_jitter: Duration::ZERO,
+            mode_switch: ModeSwitchPolicy::System,
             seed,
         };
         let sim = simulate(&ts, &cfg).unwrap();

@@ -40,6 +40,7 @@ fn full_utilization_edf_schedule() {
         exec_model: JobExecModel::FullLoBudget,
         x_factor: Some(1.0),
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
@@ -67,6 +68,7 @@ fn mode_switch_timing_is_exact() {
         exec_model: JobExecModel::FullHiBudget,
         x_factor: None, // x = 0.2/(1-0.3) = 2/7; VD ≈ 2.857 ms < 10 ms
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
@@ -93,6 +95,7 @@ fn degraded_lc_execution_is_exact() {
         exec_model: JobExecModel::FullHiBudget,
         x_factor: None,
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
@@ -120,6 +123,7 @@ fn virtual_deadlines_change_the_dispatch_order() {
         exec_model: JobExecModel::FullLoBudget,
         x_factor: Some(0.1),
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let vd = simulate(&ts, &cfg).unwrap();
@@ -142,6 +146,7 @@ fn idle_accounting_is_exact() {
         exec_model: JobExecModel::FullLoBudget,
         x_factor: Some(1.0),
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
@@ -166,6 +171,7 @@ fn overload_misses_at_the_deadline_boundary() {
         exec_model: JobExecModel::FullLoBudget,
         x_factor: Some(1.0),
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
@@ -203,6 +209,7 @@ fn overrun_exactly_at_the_budget_boundary() {
         exec_model: JobExecModel::FullHiBudget,
         x_factor: None,
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
 
@@ -245,6 +252,7 @@ fn mode_switch_on_an_lc_deadline_tick() {
         exec_model: JobExecModel::FullHiBudget,
         x_factor: Some(0.2),
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
@@ -280,6 +288,7 @@ fn back_to_back_overruns_in_one_hyperperiod() {
         exec_model: JobExecModel::FullHiBudget,
         x_factor: Some(1.0),
         release_jitter: Duration::ZERO,
+        mode_switch: ModeSwitchPolicy::System,
         seed: 0,
     };
     let m = simulate(&ts, &cfg).unwrap();
