@@ -11,6 +11,7 @@ use crate::CoreError;
 use mc_sched::analysis::{edf_vd, liu};
 use mc_sched::policy::{PolicySpec, SchedulingPolicy};
 use mc_sched::sim::{simulate, SimConfig};
+use mc_task::automotive::{generate_automotive_taskset, AutomotiveConfig};
 use mc_task::generate::{
     generate_hc_taskset, generate_lo_bounded_taskset, generate_mixed_taskset, GeneratorConfig,
 };
@@ -497,6 +498,39 @@ pub fn evaluate_arena_one_set(
     evaluate_arena_set(&ts, policy, base, seed)
 }
 
+/// The automotive counterpart of [`evaluate_arena_one_set`]: generates one
+/// Bosch-calibrated task set at bound utilisation `u` from `seed`, applies
+/// the WCET-assignment `wcet` policy on top of the generator's Weibull-fit
+/// budgets, and races `policy` on it via [`evaluate_arena_set`].
+///
+/// The seed contract is identical to the synthetic arena: the `automotive`
+/// campaign calls this with `seed = derive_set_seed(base, u_index,
+/// replica)`, which never depends on the policy index, so every roster
+/// entrant admits and simulates bit-identical task sets.
+///
+/// # Errors
+///
+/// Propagates generation, assignment, admission, and simulation errors.
+pub fn evaluate_arena_automotive_one_set(
+    u: f64,
+    wcet: &WcetPolicy,
+    policy: &PolicySpec,
+    automotive: &AutomotiveConfig,
+    seed: u64,
+    base: &SimConfig,
+) -> Result<ArenaEvaluation, CoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ts = {
+        let _span = mc_obs::span("pipeline.generate");
+        generate_automotive_taskset(u, automotive, &mut rng).map_err(CoreError::Task)?
+    };
+    {
+        let _span = mc_obs::span("pipeline.assign");
+        reseed(wcet, seed, 1).assign(&mut ts)?;
+    }
+    evaluate_arena_set(&ts, policy, base, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -892,5 +926,62 @@ mod tests {
         .unwrap();
         // Same sets, same sampled execution times ⇒ same switch behaviour.
         assert_eq!(drop.switch_rate.to_bits(), degrade.switch_rate.to_bits());
+    }
+
+    #[test]
+    fn automotive_arena_is_paired_and_reproducible() {
+        // The automotive campaign inherits the synthetic arena's seed
+        // contract: the generated set depends only on (u, wcet, config,
+        // seed), so roster entrants race on bit-identical workloads.
+        let cfg = AutomotiveConfig {
+            runnables: 120,
+            ..AutomotiveConfig::default()
+        };
+        let wcet = WcetPolicy::ChebyshevUniform { n: 3.0 };
+        let seed = derive_set_seed(23, 1, 4);
+        let base = SimConfig::new(mc_task::time::Duration::from_secs(1));
+        let drop = evaluate_arena_automotive_one_set(
+            0.6,
+            &wcet,
+            &PolicySpec::EdfVdDropAll,
+            &cfg,
+            seed,
+            &base,
+        )
+        .unwrap();
+        let again = evaluate_arena_automotive_one_set(
+            0.6,
+            &wcet,
+            &PolicySpec::EdfVdDropAll,
+            &cfg,
+            seed,
+            &base,
+        )
+        .unwrap();
+        assert_eq!(drop, again, "automotive arena unit not reproducible");
+        // The one-set evaluator is exactly the generate → assign →
+        // evaluate composition, so any policy fed the same seed races on
+        // the bit-identical task set the manual pipeline produces.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = generate_automotive_taskset(0.6, &cfg, &mut rng).unwrap();
+        reseed(&wcet, seed, 1).assign(&mut ts).unwrap();
+        let manual = evaluate_arena_set(&ts, &PolicySpec::EdfVdDropAll, &base, seed).unwrap();
+        assert_eq!(drop, manual, "one-set wrapper diverged from composition");
+        assert!((0.0..=1.0).contains(&drop.lc_qos));
+        // An invalid config surfaces as a structured Task error, not a panic.
+        let bad = AutomotiveConfig {
+            runnables: 3,
+            ..AutomotiveConfig::default()
+        };
+        let err = evaluate_arena_automotive_one_set(
+            0.6,
+            &wcet,
+            &PolicySpec::EdfVdDropAll,
+            &bad,
+            seed,
+            &base,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Task(_)), "{err:?}");
     }
 }

@@ -24,7 +24,10 @@ use crate::run::UnitRunner;
 use crate::spec::{CampaignSpec, Param, PointSpec, WorkUnit};
 use crate::store::Metric;
 use crate::ExpError;
-use chebymc_core::pipeline::{derive_set_seed, evaluate_arena_one_set, evaluate_policy_one_set};
+use chebymc_core::pipeline::{
+    derive_set_seed, evaluate_arena_automotive_one_set, evaluate_arena_one_set,
+    evaluate_policy_one_set,
+};
 use chebymc_core::policy::{paper_lambda_baselines, WcetPolicy};
 use mc_exec::benchmarks;
 use mc_exec::trace::ExecutionTrace;
@@ -33,6 +36,7 @@ use mc_sched::policy::{PolicySpec, SchedulingPolicy};
 use mc_sched::sim::SimConfig;
 use mc_stats::chebyshev::one_sided_bound;
 use mc_stats::summary::Summary;
+use mc_task::automotive::AutomotiveConfig;
 use mc_task::generate::GeneratorConfig;
 use mc_task::time::Duration;
 use std::sync::OnceLock;
@@ -65,12 +69,20 @@ pub struct CatalogOptions {
     pub points: Option<Vec<f64>>,
     /// Campaign base seed.
     pub seed: Option<u64>,
+    /// Runnables per generated task set (`automotive`).
+    pub runnables: Option<usize>,
 }
 
 /// The catalog's campaign names.
 #[must_use]
 pub fn names() -> &'static [&'static str] {
-    &["fig5", "table2", "ablation_sigma", "policy_arena"]
+    &[
+        "fig5",
+        "table2",
+        "ablation_sigma",
+        "policy_arena",
+        "automotive",
+    ]
 }
 
 /// Builds a named campaign.
@@ -85,6 +97,7 @@ pub fn build(name: &str, opts: &CatalogOptions) -> Result<Campaign, ExpError> {
         "table2" => table2(opts),
         "ablation_sigma" => Ok(ablation_sigma(opts)),
         "policy_arena" => policy_arena(opts),
+        "automotive" => automotive(opts),
         other => Err(ExpError::Config(format!(
             "unknown campaign `{other}` (known: {})",
             names().join(", ")
@@ -111,7 +124,7 @@ pub fn rebuild(spec: &CampaignSpec) -> Result<Campaign, ExpError> {
         ..CatalogOptions::default()
     };
     match spec.name.as_str() {
-        "fig5" | "policy_arena" => {
+        "fig5" | "policy_arena" | "automotive" => {
             opts.sets = Some(spec.replicas);
             // Points are policy-major; the utilisation axis repeats per
             // policy, so the policy-0 block recovers it exactly.
@@ -123,6 +136,9 @@ pub fn rebuild(spec: &CampaignSpec) -> Result<Campaign, ExpError> {
                 .collect();
             if !u_values.is_empty() {
                 opts.points = Some(u_values);
+            }
+            if let Some(r) = spec.params.iter().find(|p| p.name == "runnables") {
+                opts.runnables = Some(r.value.round() as usize);
             }
         }
         "table2" => {
@@ -470,6 +486,116 @@ impl UnitRunner for PolicyArenaRunner {
     }
 }
 
+/// The automotive arena's simulation window. The Bosch period table spans
+/// 1 ms – 1 s, so one second releases a full hyperperiod's worth of the
+/// slowest bin while the 1 ms bin already contributes ~10³ jobs per task;
+/// at 10³ runnables a unit simulates roughly 10⁵ jobs.
+const AUTOMOTIVE_HORIZON_SECS: u64 = 1;
+
+/// `automotive`: the policy roster races over Bosch-calibrated task sets —
+/// engine-style period/share bins, factor-matrix BCET/ACET/WCET triples,
+/// and per-task fitted Weibull execution times — as the bound utilisation
+/// varies. Points are policy-major like `fig5`/`policy_arena`, and the
+/// evaluation seed again depends only on `(u_index, replica)`, so the
+/// per-point comparison is paired. The runnable count rides in
+/// `spec.params`: changing the scale changes the fingerprint, and a store
+/// generated at one scale refuses to resume at another.
+fn automotive(opts: &CatalogOptions) -> Result<Campaign, ExpError> {
+    let seed = opts.seed.unwrap_or(17);
+    let replicas = opts.sets.unwrap_or(50);
+    let runnables = opts.runnables.unwrap_or(1000);
+    // The default axis brackets the design point: automotive sets are
+    // generated against a budget utilisation, so the interesting spread —
+    // how much LC service each policy salvages once Weibull tails start
+    // forcing switches — shows up well below the synthetic arena's
+    // overload axis.
+    let u_values: Vec<f64> = opts.points.clone().unwrap_or_else(|| vec![0.5, 0.7, 0.9]);
+    let config = AutomotiveConfig {
+        runnables,
+        ..AutomotiveConfig::default()
+    };
+    // Gate both the roster and the generator before any unit runs: a bad
+    // runnable count or a corrupted calibration table would otherwise fail
+    // every unit, thousands of units into the campaign.
+    let lint = mc_lint::lint_policy_roster(&PolicySpec::arena_roster());
+    if lint.has_errors() {
+        return Err(ExpError::Config(format!(
+            "policy roster failed lint:\n{lint}"
+        )));
+    }
+    let lint = mc_lint::lint_automotive_config(&config);
+    if lint.has_errors() {
+        return Err(ExpError::Config(format!(
+            "automotive generator failed lint:\n{lint}"
+        )));
+    }
+    let roster = PolicySpec::arena_roster();
+    let mut points = Vec::new();
+    for (pi, policy) in roster.iter().enumerate() {
+        for (ui, &u) in u_values.iter().enumerate() {
+            points.push(PointSpec::new(
+                format!("{}/u{u:.2}", policy.name()),
+                vec![
+                    Param::new("policy", pi as f64),
+                    Param::new("u", u),
+                    Param::new("u_index", ui as f64),
+                ],
+            ));
+        }
+    }
+    let spec = CampaignSpec {
+        name: "automotive".into(),
+        seed,
+        params: vec![Param::new("runnables", runnables as f64)],
+        points,
+        replicas,
+    };
+    Ok(Campaign {
+        spec,
+        runner: Box::new(AutomotiveRunner {
+            roster,
+            u_values,
+            seed,
+            config,
+        }),
+    })
+}
+
+struct AutomotiveRunner {
+    roster: Vec<PolicySpec>,
+    u_values: Vec<f64>,
+    seed: u64,
+    config: AutomotiveConfig,
+}
+
+impl UnitRunner for AutomotiveRunner {
+    fn run_unit(&self, unit: &WorkUnit, _inner_threads: usize) -> Result<Vec<Metric>, ExpError> {
+        let u_count = self.u_values.len();
+        let policy = &self.roster[unit.point / u_count];
+        let u_index = unit.point % u_count;
+        let u = self.u_values[u_index];
+        // Policy-independent seed: every policy sees the same task sets.
+        let eval_seed = derive_set_seed(self.seed, u_index, unit.replica);
+        let base = SimConfig::new(Duration::from_secs(AUTOMOTIVE_HORIZON_SECS));
+        let e = evaluate_arena_automotive_one_set(
+            u,
+            &arena_wcet(),
+            policy,
+            &self.config,
+            eval_seed,
+            &base,
+        )?;
+        Ok(vec![
+            Metric::new("schedulable", e.schedulable),
+            Metric::new("service_level", e.service_level),
+            Metric::new("switch_rate", e.switch_rate),
+            Metric::new("task_switch_rate", e.task_switch_rate),
+            Metric::new("lc_qos", e.lc_qos),
+            Metric::new("hc_miss_rate", e.hc_miss_rate),
+        ])
+    }
+}
+
 fn exec_err(e: mc_exec::ExecError) -> ExpError {
     ExpError::Config(format!("benchmark error: {e}"))
 }
@@ -516,6 +642,17 @@ mod tests {
                 },
             ),
             ("policy_arena", CatalogOptions::default()),
+            (
+                "automotive",
+                CatalogOptions {
+                    sets: Some(2),
+                    points: Some(vec![0.6]),
+                    seed: Some(3),
+                    runnables: Some(60),
+                    ..CatalogOptions::default()
+                },
+            ),
+            ("automotive", CatalogOptions::default()),
         ];
         for (name, opts) in cases {
             let original = build(name, &opts).unwrap();
@@ -666,6 +803,92 @@ mod tests {
             ..CatalogOptions::default()
         };
         let c = build("policy_arena", &opts).unwrap();
+        let mut store = Store::in_memory(&c.spec);
+        let summary = run_campaign(
+            &c.spec,
+            c.runner.as_ref(),
+            &mut store,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.ran, 5 * 2, "5 policies × 1 u × 2 replicas");
+        let aggs = crate::aggregate::aggregate(&c.spec, store.records()).unwrap();
+        assert_eq!(aggs.len(), 5, "one row per policy at the single u");
+        for agg in &aggs {
+            let s = agg.mean("schedulable").unwrap();
+            assert!((0.0..=1.0).contains(&s), "{}: {s}", agg.label);
+            assert!(agg.mean("lc_qos").is_some());
+        }
+    }
+
+    #[test]
+    fn automotive_axis_carries_scale_in_its_fingerprint() {
+        let c = build("automotive", &CatalogOptions::default()).unwrap();
+        assert_eq!(c.spec.replicas, 50);
+        assert_eq!(c.spec.seed, 17);
+        assert_eq!(c.spec.points.len(), 5 * 3, "5 policies × 3 utilisations");
+        assert_eq!(c.spec.points[0].label, "edf_vd_drop/u0.50");
+        assert_eq!(c.spec.points[14].label, "boudjadar_combined_0.50/u0.90");
+        assert_eq!(c.spec.points[4].param("u"), Some(0.7));
+        assert_eq!(c.spec.points[4].param("u_index"), Some(1.0));
+        assert_eq!(c.spec.points[4].param("policy"), Some(1.0));
+        // Paper scale rides in params, so a store generated at 10³
+        // runnables refuses to resume at a reduced smoke scale.
+        assert_eq!(c.spec.params.len(), 1);
+        assert_eq!(c.spec.params[0].name, "runnables");
+        assert_eq!(c.spec.params[0].value, 1000.0);
+        let small = build(
+            "automotive",
+            &CatalogOptions {
+                runnables: Some(60),
+                ..CatalogOptions::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(small.spec.fingerprint(), c.spec.fingerprint());
+    }
+
+    #[test]
+    fn automotive_units_reproduce_the_paired_arena_stream() {
+        use chebymc_core::pipeline::evaluate_arena_automotive_one_set;
+        let opts = CatalogOptions {
+            sets: Some(2),
+            points: Some(vec![0.6]),
+            runnables: Some(60),
+            ..CatalogOptions::default()
+        };
+        let c = build("automotive", &opts).unwrap();
+        // Point 1 = liu_degrade_0.50/u0.60 (policy index 1, one u value),
+        // replica 1 of 2 → unit index 3.
+        let unit = c.spec.unit(3);
+        let metrics = c.runner.run_unit(&unit, 1).unwrap();
+        let cfg = AutomotiveConfig {
+            runnables: 60,
+            ..AutomotiveConfig::default()
+        };
+        let expected = evaluate_arena_automotive_one_set(
+            0.6,
+            &arena_wcet(),
+            &PolicySpec::arena_roster()[1],
+            &cfg,
+            derive_set_seed(17, 0, 1),
+            &SimConfig::new(Duration::from_secs(AUTOMOTIVE_HORIZON_SECS)),
+        )
+        .unwrap();
+        assert_eq!(metrics[4].name, "lc_qos");
+        assert_eq!(metrics[4].value.to_bits(), expected.lc_qos.to_bits());
+        assert_eq!(metrics[2].value.to_bits(), expected.switch_rate.to_bits());
+    }
+
+    #[test]
+    fn automotive_campaign_runs_and_aggregates_end_to_end() {
+        let opts = CatalogOptions {
+            sets: Some(2),
+            points: Some(vec![0.6]),
+            runnables: Some(60),
+            ..CatalogOptions::default()
+        };
+        let c = build("automotive", &opts).unwrap();
         let mut store = Store::in_memory(&c.spec);
         let summary = run_campaign(
             &c.spec,

@@ -1,0 +1,157 @@
+//! Automotive workload lint pass (`A0xx`).
+//!
+//! The automotive generator is driven by baked-in calibration tables
+//! (period/share bins and BCET/WCET factor matrices) plus a per-campaign
+//! [`AutomotiveConfig`]. A silent edit to a table — a transposed digit in
+//! a share, a factor row whose min drifts above its max — would not crash
+//! anything: it would quietly skew every generated set and invalidate the
+//! golden fixture. This pass re-derives the table invariants from the
+//! published data's structure and checks them, alongside the config
+//! validation every campaign gate runs.
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use mc_task::automotive::{
+    AutomotiveConfig, ACET_US, BCET_FACTOR, BIN_COUNT, PERIOD_MS, SHARE_PERCENT, SHARE_TOTAL,
+    WCET_FACTOR, WEIBULL_FEASIBLE_MEAN_RATIO,
+};
+
+/// Lints the baked-in Bosch calibration tables: share entries (`A001`),
+/// period-bin ordering (`A002`), factor matrices (`A003`), ACET statistic
+/// ordering (`A004`), and per-bin Weibull feasibility (`A006`).
+#[must_use]
+pub fn lint_automotive_tables() -> LintReport {
+    let mut report = LintReport::new();
+    let mut share_sum = 0.0;
+    for b in 0..BIN_COUNT {
+        let source = format!("automotive bin[{b}] ({} ms)", PERIOD_MS[b]);
+        let share = SHARE_PERCENT[b];
+        if !share.is_finite() || share <= 0.0 {
+            report.push(Diagnostic::new(
+                Code::A001,
+                source.clone(),
+                format!("share {share} % must be finite and positive"),
+            ));
+        } else {
+            share_sum += share;
+        }
+        if PERIOD_MS[b] == 0 || (b > 0 && PERIOD_MS[b] <= PERIOD_MS[b - 1]) {
+            report.push(Diagnostic::new(
+                Code::A002,
+                source.clone(),
+                format!("period {} ms breaks strict bin ordering", PERIOD_MS[b]),
+            ));
+        }
+        let [bf_min, bf_max] = BCET_FACTOR[b];
+        if !(bf_min.is_finite() && bf_max.is_finite())
+            || bf_min <= 0.0
+            || bf_min > bf_max
+            || bf_max >= 1.0
+        {
+            report.push(Diagnostic::new(
+                Code::A003,
+                source.clone(),
+                format!("BCET factors [{bf_min}, {bf_max}] must satisfy 0 < min <= max < 1"),
+            ));
+        }
+        let [wf_min, wf_max] = WCET_FACTOR[b];
+        if !(wf_min.is_finite() && wf_max.is_finite()) || wf_min <= 1.0 || wf_min > wf_max {
+            report.push(Diagnostic::new(
+                Code::A003,
+                source.clone(),
+                format!("WCET factors [{wf_min}, {wf_max}] must satisfy 1 < min <= max"),
+            ));
+        }
+        let [a_min, a_avg, a_max] = ACET_US[b];
+        if !(a_min.is_finite() && a_avg.is_finite() && a_max.is_finite())
+            || a_min <= 0.0
+            || a_min > a_avg
+            || a_avg > a_max
+        {
+            report.push(Diagnostic::new(
+                Code::A004,
+                source.clone(),
+                format!(
+                    "ACET stats ({a_min}, {a_avg}, {a_max}) µs must satisfy 0 < min <= avg <= max"
+                ),
+            ));
+        }
+        // The mean-position ratio (1 - bf)/(wf - bf) is decreasing in both
+        // factors, so the bin's best attainable ratio sits at
+        // (bf_min, wf_min); if even that corner is below the floor, the
+        // per-task discard loop can never terminate.
+        let best_ratio = (1.0 - bf_min) / (wf_min - bf_min);
+        if best_ratio < WEIBULL_FEASIBLE_MEAN_RATIO {
+            report.push(Diagnostic::new(
+                Code::A006,
+                source,
+                format!(
+                    "best attainable mean ratio {best_ratio:.5} is below the \
+                     Weibull feasibility floor {WEIBULL_FEASIBLE_MEAN_RATIO}"
+                ),
+            ));
+        }
+    }
+    if (share_sum - SHARE_TOTAL).abs() > 1e-9 {
+        report.push(Diagnostic::new(
+            Code::A001,
+            "automotive share table",
+            format!("shares sum to {share_sum} %, not the documented {SHARE_TOTAL} %"),
+        ));
+    }
+    report
+}
+
+/// Lints an [`AutomotiveConfig`] (`A005`), mirroring
+/// [`AutomotiveConfig::validate`] the way `S009` mirrors the synthetic
+/// generator's checks, and re-checks the calibration tables so every
+/// campaign gate covers both.
+#[must_use]
+pub fn lint_automotive_config(cfg: &AutomotiveConfig) -> LintReport {
+    let mut report = lint_automotive_tables();
+    if let Err(e) = cfg.validate() {
+        report.push(Diagnostic::new(
+            Code::A005,
+            "automotive generator config",
+            e.to_string(),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baked_in_tables_are_clean() {
+        let report = lint_automotive_tables();
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn default_config_is_clean() {
+        assert!(lint_automotive_config(&AutomotiveConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn invalid_config_is_a005() {
+        let cfg = AutomotiveConfig {
+            runnables: 3,
+            ..AutomotiveConfig::default()
+        };
+        let report = lint_automotive_config(&cfg);
+        assert_eq!(report.codes(), vec![Code::A005]);
+        assert!(report.has_errors());
+        let d = report.iter().find(|d| d.code == Code::A005).unwrap();
+        assert!(d.message.contains("runnables"), "{}", d.message);
+    }
+
+    #[test]
+    fn nan_p_high_is_a005() {
+        let cfg = AutomotiveConfig {
+            p_high: f64::NAN,
+            ..AutomotiveConfig::default()
+        };
+        assert_eq!(lint_automotive_config(&cfg).codes(), vec![Code::A005]);
+    }
+}

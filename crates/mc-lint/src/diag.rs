@@ -132,6 +132,21 @@ pub enum Code {
     P002,
     /// Policy roster is empty.
     P003,
+    /// Automotive share-table entry invalid (negative, non-finite, or the
+    /// shares no longer sum to the documented total).
+    A001,
+    /// Automotive period bins not strictly increasing or zero.
+    A002,
+    /// Automotive factor-matrix violation (BCET factors outside `(0, 1)`,
+    /// WCET factors not above 1, or a min above its max).
+    A003,
+    /// Automotive ACET statistics out of order (`min ≤ avg ≤ max` broken).
+    A004,
+    /// Automotive generator configuration invalid.
+    A005,
+    /// Automotive calibration admits no Weibull-feasible factor pair for
+    /// some bin (the discard loop could never terminate).
+    A006,
 }
 
 impl Code {
@@ -139,10 +154,10 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         use Code::{
-            C001, C002, C003, C004, C005, C006, C007, C008, C009, D001, D002, D003, D004, E001,
-            E002, E003, E004, E005, E006, P001, P002, P003, S001, S002, S003, S004, S005, S006,
-            S007, S008, S009, T001, T002, T003, T004, T005, T006, T007, T008, T009, T010, T011,
-            T012, U001, U002, U003, U004, U005,
+            A001, A002, A003, A004, A005, A006, C001, C002, C003, C004, C005, C006, C007, C008,
+            C009, D001, D002, D003, D004, E001, E002, E003, E004, E005, E006, P001, P002, P003,
+            S001, S002, S003, S004, S005, S006, S007, S008, S009, T001, T002, T003, T004, T005,
+            T006, T007, T008, T009, T010, T011, T012, U001, U002, U003, U004, U005,
         };
         match self {
             C001 | C002 | C003 | C004 | C005 | C006 => Severity::Error,
@@ -162,10 +177,12 @@ impl Code {
             U002 | U005 => Severity::Warning,
             U004 => Severity::Info,
             P001 | P002 | P003 => Severity::Error,
+            A001 | A002 | A003 | A004 | A005 | A006 => Severity::Error,
         }
     }
 
-    /// The code's class letter (`C`, `T`, `S`, `E`, `D`, `U`, or `P`) —
+    /// The code's class letter (`C`, `T`, `S`, `E`, `D`, `U`, `P`, or
+    /// `A`) —
     /// the granularity `--deny`/`--allow` accept besides full codes.
     #[must_use]
     pub fn class(self) -> char {
@@ -228,6 +245,12 @@ impl Code {
             Code::P001 => "scheduling-policy parameter out of range",
             Code::P002 => "duplicate scheduling-policy names in one roster",
             Code::P003 => "policy roster is empty",
+            Code::A001 => "automotive share-table entry invalid",
+            Code::A002 => "automotive period bins not strictly increasing",
+            Code::A003 => "automotive BCET/WCET factor-matrix violation",
+            Code::A004 => "automotive ACET statistics out of order",
+            Code::A005 => "automotive generator configuration invalid",
+            Code::A006 => "automotive bin admits no Weibull-feasible factor pair",
         }
     }
 }
@@ -288,6 +311,12 @@ pub const ALL_CODES: &[Code] = &[
     Code::P001,
     Code::P002,
     Code::P003,
+    Code::A001,
+    Code::A002,
+    Code::A003,
+    Code::A004,
+    Code::A005,
+    Code::A006,
 ];
 
 /// The exit-code policy shared by every `chebymc lint` pass: which
@@ -308,7 +337,7 @@ pub struct Gate {
 
 impl Gate {
     /// Parses comma-separated `--deny`/`--allow` lists. Each entry is a
-    /// class letter (`C`, `T`, `S`, `E`, `D`, `U`), a full code
+    /// class letter (`C`, `T`, `S`, `E`, `D`, `U`, `P`, `A`), a full code
     /// (`D002`), or — for `--deny` only — the word `warnings`.
     ///
     /// # Errors
@@ -597,7 +626,7 @@ mod tests {
             assert!(!code.description().is_empty());
             let _ = code.severity();
             assert!(
-                "CTSEDUP".contains(code.class()),
+                "CTSEDUPA".contains(code.class()),
                 "unexpected class for {code}"
             );
         }

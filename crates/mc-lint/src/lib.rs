@@ -17,6 +17,9 @@
 //! * [`policy_pass`] checks scheduling-policy rosters (`P0xx`): parameter
 //!   ranges, duplicate policy names, and empty rosters, gating the
 //!   `policy_arena` campaign before any unit runs.
+//! * [`automotive_pass`] checks the automotive workload family (`A0xx`):
+//!   the baked-in Bosch period/share and factor tables, per-bin Weibull
+//!   feasibility, and the campaign's `AutomotiveConfig`.
 //! * [`source_pass`] audits the workspace's *own Rust sources* for
 //!   determinism and soundness hazards (`D0xx`/`U0xx`): unordered hash
 //!   iteration, wall-clock reads, unseeded randomness, unordered float
@@ -37,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod automotive_pass;
 pub mod cfg_pass;
 pub mod diag;
 pub mod exp_pass;
@@ -45,6 +49,7 @@ pub mod scheme_pass;
 pub mod source_pass;
 pub mod task_pass;
 
+pub use automotive_pass::{lint_automotive_config, lint_automotive_tables};
 pub use cfg_pass::{analyze_structure, lint_cfg, CfgStructure};
 pub use diag::{Code, Diagnostic, Gate, LintReport, Severity, ALL_CODES};
 pub use exp_pass::{lint_campaign, CampaignCheck};
@@ -57,6 +62,7 @@ pub use task_pass::lint_taskset;
 
 use mc_exec::cfg::Cfg;
 use mc_opt::{GaConfig, ProblemConfig};
+use mc_task::automotive::AutomotiveConfig;
 use mc_task::generate::GeneratorConfig;
 use mc_task::workload::Workload;
 use serde::{Deserialize, Serialize};
@@ -75,6 +81,10 @@ pub struct LintBundle {
     pub problem: Option<ProblemConfig>,
     /// Synthetic task-generator configuration.
     pub generator: Option<GeneratorConfig>,
+    /// Automotive workload-family configuration (also re-checks the
+    /// calibration tables).
+    #[serde(default)]
+    pub automotive: Option<AutomotiveConfig>,
 }
 
 impl LintBundle {
@@ -106,6 +116,9 @@ impl LintBundle {
         }
         if let Some(g) = &self.generator {
             report.merge(lint_generator_config(g));
+        }
+        if let Some(a) = &self.automotive {
+            report.merge(lint_automotive_config(a));
         }
         report
     }

@@ -16,9 +16,12 @@ pub enum JobExecModel {
     FullHiBudget,
     /// Every job runs a deterministic fraction of `C_LO`.
     FractionOfLo(f64),
-    /// Sample from the task's attached execution profile — a normal with
-    /// the profile's `(ACET, σ)` clamped into `[1 ns, C_HI]`. Tasks without
-    /// a profile draw uniformly from `[½·C_LO, C_LO]`.
+    /// Sample from the task's attached execution profile: the fitted
+    /// three-parameter Weibull (inverse-CDF draw) when the profile carries
+    /// one — the automotive workload family's heavy-tailed law — otherwise
+    /// a normal with the profile's `(ACET, σ)`. Either way the draw is
+    /// clamped into `[1 ns, C_HI]`. Tasks without a profile draw uniformly
+    /// from `[½·C_LO, C_LO]`.
     Profile,
     /// Each HC job overruns `C_LO` with the given probability (running to
     /// `C_HI` when it does, 90 % of `C_LO` otherwise); LC jobs run 90 % of
@@ -56,7 +59,18 @@ impl JobExecModel {
             JobExecModel::Profile => match task.profile() {
                 Some(p) => {
                     let sigma = p.sigma().max(0.0);
-                    let x = if sigma == 0.0 {
+                    let x = if let Some(fit) = p.weibull() {
+                        // Heavy-tailed fitted law: one uniform draw through
+                        // the inverse CDF, open at 1 so the quantile stays
+                        // finite (the C_HI clamp truncates the tail).
+                        let u: f64 = loop {
+                            let u: f64 = rng.random();
+                            if u < 1.0 {
+                                break u;
+                            }
+                        };
+                        fit.quantile(u)
+                    } else if sigma == 0.0 {
                         p.acet()
                     } else {
                         // Box–Muller normal draw around the profile.
@@ -193,6 +207,50 @@ mod tests {
         let s = acc.finish().unwrap();
         assert!((s.mean() - 5.0e6).abs() < 5e4);
         assert!((s.std_dev() - 1.0e6).abs() < 5e4);
+    }
+
+    #[test]
+    fn profile_model_prefers_the_fitted_weibull_law() {
+        use mc_task::WeibullFit;
+        // k = 1 (exponential): mean = location + scale = 3 ms, easy to
+        // check against the empirical mean of the clamped draw.
+        let fit = WeibullFit {
+            location: 1_000_000.0,
+            shape: 1.0,
+            scale: 2_000_000.0,
+        };
+        let profile = ExecutionProfile::new(3_000_000.0, 2_000_000.0, 40_000_000.0)
+            .unwrap()
+            .with_weibull(fit)
+            .unwrap();
+        let task = McTask::builder(TaskId::new(4))
+            .criticality(Criticality::Hi)
+            .period(Duration::from_millis(100))
+            .c_lo(Duration::from_millis(10))
+            .c_hi(Duration::from_millis(40))
+            .profile(profile)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut acc = mc_stats::summary::OnlineSummary::new();
+        let location = Duration::from_nanos(1_000_000);
+        for _ in 0..20_000 {
+            let d = JobExecModel::Profile.draw(&task, &mut rng);
+            assert!(d >= location && d <= task.c_hi(), "draw {d:?}");
+            acc.push(d.as_nanos() as f64).unwrap();
+        }
+        let s = acc.finish().unwrap();
+        // The C_HI clamp trims a ~3e-9 tail; the mean stays on the fit.
+        assert!((s.mean() - 3.0e6).abs() / 3.0e6 < 0.03, "mean {}", s.mean());
+        // Skewed right: median well below the mean, unlike the normal path.
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let mut below = 0usize;
+        for _ in 0..20_000 {
+            if JobExecModel::Profile.draw(&task, &mut rng2).as_nanos() as f64 <= 3.0e6 {
+                below += 1;
+            }
+        }
+        assert!(below as f64 / 20_000.0 > 0.6, "not right-skewed: {below}");
     }
 
     #[test]

@@ -35,6 +35,12 @@ use serde::{Deserialize, Serialize};
 /// Euler–Mascheroni constant, used by the Gumbel moment formulas.
 pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
 
+/// Exceedance probability [`Dist::weibull_from_triple`] assigns to the
+/// pessimistic WCET: the fitted (untruncated) distribution places 10⁻⁴ of
+/// its mass above the WCET, so truncating there clips a negligible sliver
+/// while keeping the first two moments essentially intact.
+pub const WEIBULL_TRIPLE_TAIL: f64 = 1e-4;
+
 /// A weighted component of a [`Dist::Mixture`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Component {
@@ -96,6 +102,20 @@ pub enum Dist {
     },
     /// Weibull with shape `k` and scale `lambda`.
     Weibull {
+        /// Shape k > 0.
+        shape: f64,
+        /// Scale λ > 0.
+        scale: f64,
+    },
+    /// Three-parameter (shifted) Weibull: `location + Weibull(shape, scale)`.
+    ///
+    /// The automotive workload family fits this to per-task
+    /// (BCET, ACET, WCET) triples — see [`Dist::weibull_from_triple`] —
+    /// with the location pinned at the BCET so no sample undercuts the
+    /// best-case execution time.
+    Weibull3 {
+        /// Location (lower bound of the support).
+        location: f64,
         /// Shape k > 0.
         shape: f64,
         /// Scale λ > 0.
@@ -246,6 +266,107 @@ impl Dist {
         Ok(Dist::Weibull { shape, scale })
     }
 
+    /// Shifted Weibull distribution `location + Weibull(shape, scale)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `location` is non-finite or either of
+    /// `shape`/`scale` is not strictly positive.
+    pub fn weibull3(location: f64, shape: f64, scale: f64) -> Result<Self> {
+        ensure_finite("location", location)?;
+        ensure_positive("shape", shape)?;
+        ensure_positive("scale", scale)?;
+        Ok(Dist::Weibull3 {
+            location,
+            shape,
+            scale,
+        })
+    }
+
+    /// Fits a shifted Weibull to a `(BCET, ACET, WCET)` execution-time
+    /// triple: the location is pinned at the BCET, the mean at the ACET,
+    /// and the survival at the WCET at [`WEIBULL_TRIPLE_TAIL`] — the
+    /// standard three-point calibration the automotive benchmark
+    /// literature uses for heavy-tailed runnable execution times.
+    ///
+    /// With `m = ACET − BCET`, `t = WCET − BCET` and `q = ln(1/p_tail)`,
+    /// the shape `k = 1/x` solves `Γ(1+x)·q⁻ˣ = m/t` on the initial
+    /// decreasing branch of that unimodal function (bracketing +
+    /// bisection; no external dependencies), and the scale follows as
+    /// `λ = t·q⁻ˣ`. The fitted mean is then exactly
+    /// `BCET + λ·Γ(1+x) = ACET`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the triple is not strictly ordered
+    /// (`0 ≤ BCET < ACET < WCET`), any value is non-finite, or the mean
+    /// sits so close to the BCET relative to the WCET span
+    /// (`m/t` below ~7·10⁻⁴) that no Weibull shape can realise it.
+    pub fn weibull_from_triple(bcet: f64, acet: f64, wcet: f64) -> Result<Self> {
+        ensure_finite("bcet", bcet)?;
+        ensure_finite("acet", acet)?;
+        ensure_finite("wcet", wcet)?;
+        if bcet < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                what: "bcet",
+                expected: "non-negative",
+                value: bcet,
+            });
+        }
+        if acet <= bcet {
+            return Err(StatsError::InvalidParameter {
+                what: "acet",
+                expected: "strictly above bcet",
+                value: acet,
+            });
+        }
+        if wcet <= acet {
+            return Err(StatsError::InvalidParameter {
+                what: "wcet",
+                expected: "strictly above acet",
+                value: wcet,
+            });
+        }
+        let span = wcet - bcet;
+        let r = (acet - bcet) / span;
+        let ln_q = (-WEIBULL_TRIPLE_TAIL.ln()).ln();
+        let h = |x: f64| gamma(1.0 + x) * (-x * ln_q).exp();
+        // h(0) = 1 and h decreases to a single minimum (near x ≈ 8 for
+        // p_tail = 10⁻⁴) before diverging; bracket the crossing h(x) = r
+        // on the decreasing branch by doubling, then bisect.
+        let mut lo = 0.0;
+        let mut hi = 1e-3;
+        let mut h_hi = h(hi);
+        while h_hi > r {
+            let next = hi * 2.0;
+            let h_next = h(next);
+            if h_next >= h_hi {
+                // Passed the minimum without reaching r: no shape fits.
+                return Err(StatsError::InvalidParameter {
+                    what: "acet",
+                    expected: "far enough above bcet for a Weibull fit",
+                    value: r,
+                });
+            }
+            lo = hi;
+            hi = next;
+            h_hi = h_next;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if h(mid) > r {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-15 * (1.0 + hi) {
+                break;
+            }
+        }
+        let x = (0.5 * (lo + hi)).max(1e-12);
+        Dist::weibull3(bcet, 1.0 / x, span * (-x * ln_q).exp())
+    }
+
     /// Triangular distribution on `[low, high]` with the given `mode`.
     ///
     /// # Errors
@@ -357,6 +478,11 @@ impl Dist {
             }
             Dist::Exponential { rate } => -open01(rng).ln() / rate,
             Dist::Weibull { shape, scale } => scale * (-open01(rng).ln()).powf(1.0 / shape),
+            Dist::Weibull3 {
+                location,
+                shape,
+                scale,
+            } => location + scale * (-open01(rng).ln()).powf(1.0 / shape),
             Dist::Triangular { low, mode, high } => {
                 let u = rng.random::<f64>();
                 let cut = (mode - low) / (high - low);
@@ -423,6 +549,11 @@ impl Dist {
             Dist::GumbelMin { location, scale } => Some(location - EULER_GAMMA * scale),
             Dist::Exponential { rate } => Some(1.0 / rate),
             Dist::Weibull { shape, scale } => Some(scale * gamma(1.0 + 1.0 / shape)),
+            Dist::Weibull3 {
+                location,
+                shape,
+                scale,
+            } => Some(location + scale * gamma(1.0 + 1.0 / shape)),
             Dist::Triangular { low, mode, high } => Some((low + mode + high) / 3.0),
             Dist::Mixture(parts) => {
                 let mut m = 0.0;
@@ -448,7 +579,7 @@ impl Dist {
                 Some(std::f64::consts::PI.powi(2) / 6.0 * scale * scale)
             }
             Dist::Exponential { rate } => Some(1.0 / (rate * rate)),
-            Dist::Weibull { shape, scale } => {
+            Dist::Weibull { shape, scale } | Dist::Weibull3 { shape, scale, .. } => {
                 let g1 = gamma(1.0 + 1.0 / shape);
                 let g2 = gamma(1.0 + 2.0 / shape);
                 Some(scale * scale * (g2 - g1 * g1))
@@ -511,6 +642,17 @@ impl Dist {
                     1.0
                 } else {
                     (-(x / scale).powf(*shape)).exp()
+                }
+            }
+            Dist::Weibull3 {
+                location,
+                shape,
+                scale,
+            } => {
+                if x <= *location {
+                    1.0
+                } else {
+                    (-((x - location) / scale).powf(*shape)).exp()
                 }
             }
             Dist::Triangular { low, mode, high } => {
@@ -766,6 +908,72 @@ mod tests {
     }
 
     #[test]
+    fn weibull3_moments_match_and_respect_location() {
+        let d = Dist::weibull3(10.0, 2.0, 3.0).unwrap();
+        // Shifting moves the mean but not the variance.
+        let base = Dist::weibull(2.0, 3.0).unwrap();
+        assert!((d.mean().unwrap() - (10.0 + base.mean().unwrap())).abs() < 1e-12);
+        assert!((d.variance().unwrap() - base.variance().unwrap()).abs() < 1e-12);
+        check_moments(&d, 20, 0.05, 0.05);
+        let mut r = rng(21);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut r) >= 10.0);
+        }
+        assert_eq!(d.survival(9.0), 1.0);
+        assert_eq!(d.survival(10.0), 1.0);
+        assert!(d.survival(10.1) < 1.0);
+    }
+
+    #[test]
+    fn weibull_from_triple_hits_all_three_calibration_points() {
+        for &(bcet, acet, wcet) in &[
+            (100.0, 500.0, 3_000.0),
+            (0.0, 1.0, 10.0),
+            (5_000.0, 5_400.0, 150_000.0), // heavy tail: mean hugs the BCET
+            (10.0, 90.0, 100.0),           // light tail: mean hugs the WCET
+        ] {
+            let d = Dist::weibull_from_triple(bcet, acet, wcet).unwrap();
+            let mean = d.mean().unwrap();
+            assert!(
+                (mean - acet).abs() < 1e-6 * acet.max(1.0),
+                "({bcet},{acet},{wcet}): fitted mean {mean}"
+            );
+            assert!(
+                (d.survival(wcet) - WEIBULL_TRIPLE_TAIL).abs() < 1e-9,
+                "({bcet},{acet},{wcet}): survival at WCET {}",
+                d.survival(wcet)
+            );
+            assert_eq!(d.survival(bcet), 1.0);
+        }
+    }
+
+    #[test]
+    fn weibull_from_triple_rejects_degenerate_triples() {
+        assert!(Dist::weibull_from_triple(-1.0, 5.0, 10.0).is_err());
+        assert!(Dist::weibull_from_triple(5.0, 5.0, 10.0).is_err());
+        assert!(Dist::weibull_from_triple(1.0, 10.0, 10.0).is_err());
+        assert!(Dist::weibull_from_triple(10.0, 5.0, 20.0).is_err());
+        assert!(Dist::weibull_from_triple(f64::NAN, 5.0, 10.0).is_err());
+        assert!(Dist::weibull_from_triple(1.0, 5.0, f64::INFINITY).is_err());
+        // Mean essentially at the BCET relative to the span: unreachable by
+        // any Weibull shape (h's minimum is ~7e-4 for the 1e-4 tail).
+        assert!(Dist::weibull_from_triple(0.0, 1.0, 1.0e6).is_err());
+    }
+
+    #[test]
+    fn weibull_from_triple_truncates_cleanly_at_wcet() {
+        let d = Dist::weibull_from_triple(100.0, 400.0, 2_000.0)
+            .unwrap()
+            .truncated_above(2_000.0)
+            .unwrap();
+        let mut r = rng(22);
+        for _ in 0..20_000 {
+            let x = d.sample(&mut r);
+            assert!((100.0..=2_000.0).contains(&x), "sample {x}");
+        }
+    }
+
+    #[test]
     fn triangular_moments_match() {
         check_moments(&Dist::triangular(0.0, 2.0, 10.0).unwrap(), 8, 0.05, 0.05);
     }
@@ -811,6 +1019,9 @@ mod tests {
         assert!(Dist::gumbel(0.0, 0.0).is_err());
         assert!(Dist::exponential(-2.0).is_err());
         assert!(Dist::weibull(0.0, 1.0).is_err());
+        assert!(Dist::weibull3(f64::NAN, 1.0, 1.0).is_err());
+        assert!(Dist::weibull3(0.0, 0.0, 1.0).is_err());
+        assert!(Dist::weibull3(0.0, 1.0, -1.0).is_err());
         assert!(Dist::triangular(0.0, 5.0, 4.0).is_err());
         assert!(Dist::triangular(0.0, -1.0, 4.0).is_err());
     }
@@ -969,6 +1180,8 @@ mod tests {
                     .prop_map(|(m, s)| Dist::log_normal_from_moments(m, s).unwrap()),
                 (0.01..10.0f64).prop_map(|r| Dist::exponential(r).unwrap()),
                 (0.5..5.0f64, 0.1..50.0f64).prop_map(|(k, l)| Dist::weibull(k, l).unwrap()),
+                (0.0..100.0f64, 0.5..5.0f64, 0.1..50.0f64)
+                    .prop_map(|(loc, k, l)| Dist::weibull3(loc, k, l).unwrap()),
                 (-100.0..0.0f64, 1.0..100.0f64)
                     .prop_map(|(lo, w)| Dist::uniform(lo, lo + w).unwrap()),
             ]

@@ -103,18 +103,6 @@ impl GeneratorConfig {
         self.validate()?;
         Ok(CheckedGeneratorConfig(self))
     }
-
-    fn sample_period<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
-        Duration::from_millis(rng.random_range(self.period_ms.0..=self.period_ms.1))
-    }
-
-    fn sample_range<R: Rng + ?Sized>(&self, rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
-        if hi <= lo {
-            lo
-        } else {
-            rng.random_range(lo..hi)
-        }
-    }
 }
 
 /// A [`GeneratorConfig`] that has passed [`GeneratorConfig::validate`]
@@ -129,6 +117,26 @@ impl std::ops::Deref for CheckedGeneratorConfig<'_> {
 
     fn deref(&self) -> &GeneratorConfig {
         self.0
+    }
+}
+
+impl CheckedGeneratorConfig<'_> {
+    // The sampling helpers live on the *checked* wrapper on purpose: an
+    // unvalidated `GeneratorConfig` can hold inverted ranges (e.g.
+    // `period_ms: (900, 100)`) or NaN bounds, and a sampler reachable from
+    // it would have to coerce them silently. Here validation has already
+    // guaranteed `lo <= hi` and finiteness, so the only special case left
+    // is the degenerate point range.
+    fn sample_period<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        Duration::from_millis(rng.random_range(self.period_ms.0..=self.period_ms.1))
+    }
+
+    fn sample_range<R: Rng + ?Sized>(&self, rng: &mut R, (lo, hi): (f64, f64)) -> f64 {
+        if hi <= lo {
+            lo
+        } else {
+            rng.random_range(lo..hi)
+        }
     }
 }
 
@@ -408,6 +416,48 @@ pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Result<Ve
     Ok(out)
 }
 
+/// [`uunifast`] with the standard discard rule: the whole vector is redrawn
+/// while any share exceeds `cap` (per-task utilisations above 1 — or above
+/// a caller-chosen ceiling — are infeasible), with a bounded retry budget
+/// so an unlucky or over-constrained draw surfaces a structured error
+/// instead of spinning.
+///
+/// # Errors
+///
+/// Returns [`TaskError::InvalidGeneratorConfig`] when the inputs are
+/// degenerate (`n == 0`, non-positive `total`, non-positive/NaN `cap`, or
+/// `total > n · cap`, which no draw can satisfy) and
+/// [`TaskError::RetriesExhausted`] when `max_retries` redraws all contained
+/// an over-cap share.
+pub fn uunifast_capped<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    cap: f64,
+    max_retries: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, TaskError> {
+    if !cap.is_finite() || cap <= 0.0 {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "uunifast cap must be strictly positive",
+        });
+    }
+    if total > n as f64 * cap {
+        return Err(TaskError::InvalidGeneratorConfig {
+            reason: "uunifast total exceeds n * cap; no draw can satisfy it",
+        });
+    }
+    for _ in 0..max_retries.max(1) {
+        let us = uunifast(n, total, rng)?;
+        if us.iter().all(|&u| u <= cap) {
+            return Ok(us);
+        }
+    }
+    Err(TaskError::RetriesExhausted {
+        what: "UUniFast draw under the utilisation cap",
+        retries: max_retries.max(1),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +513,51 @@ mod tests {
         for cfg in bad {
             assert!(cfg.validate().is_err(), "{cfg:?} should be invalid");
         }
+    }
+
+    #[test]
+    fn inverted_and_nan_ranges_never_reach_a_sampler() {
+        // Regression for the silent-coercion hazard: the samplers used to
+        // live on the unchecked config, where an inverted range collapsed
+        // to `lo` and a NaN bound sailed through. They now require a
+        // `CheckedGeneratorConfig`, and these configs can't produce one.
+        let bad = [
+            GeneratorConfig {
+                period_ms: (900, 100),
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                coefficient_of_variation: (f64::NAN, 0.3),
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                coefficient_of_variation: (0.02, f64::NAN),
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                wcet_ratio: (60.0, 5.0),
+                ..GeneratorConfig::default()
+            },
+            GeneratorConfig {
+                task_utilization: (0.2, f64::INFINITY),
+                ..GeneratorConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(cfg.checked().is_err(), "{cfg:?} must not check out");
+            let mut r = rng(40);
+            assert!(generate_hc_task(TaskId::new(0), 0.1, &cfg, &mut r).is_err());
+            assert!(generate_mixed_taskset(0.5, &cfg, &mut rng(41)).is_err());
+        }
+        // A degenerate-but-valid point range still samples fine.
+        let point = GeneratorConfig {
+            period_ms: (250, 250),
+            wcet_ratio: (8.0, 8.0),
+            coefficient_of_variation: (0.1, 0.1),
+            ..GeneratorConfig::default()
+        };
+        let t = generate_hc_task(TaskId::new(0), 0.1, &point, &mut rng(42)).unwrap();
+        assert_eq!(t.period(), Duration::from_millis(250));
     }
 
     #[test]
@@ -626,6 +721,49 @@ mod tests {
         assert!(uunifast(0, 0.5, &mut r).is_err());
         assert!(uunifast(3, 0.0, &mut r).is_err());
         assert!(uunifast(3, f64::NAN, &mut r).is_err());
+    }
+
+    #[test]
+    fn uunifast_is_byte_stable_per_seed() {
+        let a = uunifast(12, 0.8, &mut rng(99)).unwrap();
+        let b = uunifast(12, 0.8, &mut rng(99)).unwrap();
+        // Bitwise equality, not approximate: the campaign seed contract
+        // relies on identical draws producing identical bytes.
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn uunifast_capped_discards_over_cap_draws() {
+        // A loose cap accepts the first draw; a tight-but-feasible cap
+        // forces the discard loop to actually fire and still terminate.
+        let mut r = rng(12);
+        let us = uunifast_capped(8, 0.9, 1.0, 64, &mut r).unwrap();
+        assert!((us.iter().sum::<f64>() - 0.9).abs() < 1e-9);
+        let mut r = rng(12);
+        let tight = uunifast_capped(4, 1.2, 0.4, 10_000, &mut r).unwrap();
+        assert!((tight.iter().sum::<f64>() - 1.2).abs() < 1e-9);
+        assert!(tight.iter().all(|&u| (0.0..=0.4).contains(&u)));
+    }
+
+    #[test]
+    fn uunifast_capped_surfaces_structured_errors() {
+        let mut r = rng(13);
+        // Infeasible outright: total > n * cap.
+        assert_eq!(
+            uunifast_capped(4, 2.5, 0.5, 100, &mut r),
+            Err(TaskError::InvalidGeneratorConfig {
+                reason: "uunifast total exceeds n * cap; no draw can satisfy it",
+            })
+        );
+        assert!(uunifast_capped(4, 0.5, f64::NAN, 100, &mut r).is_err());
+        assert!(uunifast_capped(4, 0.5, 0.0, 100, &mut r).is_err());
+        // Feasible but vanishingly likely (needs an almost perfectly even
+        // split): the bounded loop must give up with RetriesExhausted.
+        let err = uunifast_capped(4, 1.99, 0.4999, 50, &mut r).unwrap_err();
+        assert!(matches!(
+            err,
+            TaskError::RetriesExhausted { retries: 50, .. }
+        ));
     }
 
     mod properties {

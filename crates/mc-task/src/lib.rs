@@ -12,6 +12,8 @@
 //! * [`profile`] — per-task `(ACET, σ, WCET_pes)` measurements.
 //! * [`taskset`] — collections with the paper's `U_l^k` aggregates.
 //! * [`generate`] — the §V synthetic workload generator and UUniFast.
+//! * [`automotive`] — the Bosch-calibrated automotive workload family
+//!   (period/share bins, factor matrices, fitted Weibull execution times).
 //!
 //! # Example
 //!
@@ -29,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod automotive;
 pub mod criticality;
 pub mod generate;
 pub mod multi;
@@ -42,7 +45,7 @@ use std::error::Error;
 use std::fmt;
 
 pub use criticality::Criticality;
-pub use profile::ExecutionProfile;
+pub use profile::{ExecutionProfile, WeibullFit};
 pub use task::{McTask, TaskId};
 pub use taskset::TaskSet;
 
@@ -92,6 +95,14 @@ pub enum TaskError {
         /// What was violated.
         reason: &'static str,
     },
+    /// A bounded discard-and-redraw loop exhausted its retry budget
+    /// without producing a feasible draw.
+    RetriesExhausted {
+        /// The draw that kept getting discarded.
+        what: &'static str,
+        /// The retry budget that was exhausted.
+        retries: usize,
+    },
 }
 
 impl fmt::Display for TaskError {
@@ -117,6 +128,9 @@ impl fmt::Display for TaskError {
             }
             TaskError::InvalidGeneratorConfig { reason } => {
                 write!(f, "invalid generator configuration: {reason}")
+            }
+            TaskError::RetriesExhausted { what, retries } => {
+                write!(f, "no feasible {what} after {retries} retries")
             }
         }
     }

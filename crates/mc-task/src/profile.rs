@@ -32,6 +32,47 @@ pub struct ExecutionProfile {
     acet: f64,
     sigma: f64,
     wcet_pes: f64,
+    /// Fitted three-parameter Weibull execution-time law, when the profile
+    /// came from a calibrated (BCET, ACET, WCET) triple rather than raw
+    /// measurements. `None` (serialized as `null`) for the paper's Table I
+    /// profiles; `serde(default)` keeps pre-automotive JSON loading.
+    #[serde(default)]
+    weibull: Option<WeibullFit>,
+}
+
+/// Parameters of a fitted three-parameter (shifted) Weibull execution-time
+/// distribution, in nanoseconds: `X = location + scale · W(shape)`.
+///
+/// Carried by [`ExecutionProfile`] for the automotive workload family so
+/// the simulator's profile-driven execution model can draw from the
+/// heavy-tailed fitted law instead of a normal approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullFit {
+    /// Location (the task's BCET) in nanoseconds; `≥ 0`.
+    pub location: f64,
+    /// Weibull shape parameter `k > 0` (`k < 1` is heavy-tailed).
+    pub shape: f64,
+    /// Weibull scale parameter `λ > 0`, in nanoseconds.
+    pub scale: f64,
+}
+
+impl WeibullFit {
+    fn validate(&self) -> Result<(), TaskError> {
+        let finite = self.location.is_finite() && self.shape.is_finite() && self.scale.is_finite();
+        if !finite || self.location < 0.0 || self.shape <= 0.0 || self.scale <= 0.0 {
+            return Err(TaskError::InvalidProfile {
+                reason: "weibull fit requires location >= 0, shape > 0, scale > 0, all finite",
+            });
+        }
+        Ok(())
+    }
+
+    /// Inverse CDF: the execution time at cumulative probability `p`,
+    /// `location + scale · (−ln(1−p))^{1/shape}` — the zero-dependency
+    /// sampling transform used by the simulator (`p` uniform in `(0, 1)`).
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.location + self.scale * (-(1.0 - p).ln()).powf(1.0 / self.shape)
+    }
 }
 
 impl ExecutionProfile {
@@ -67,7 +108,32 @@ impl ExecutionProfile {
             acet,
             sigma,
             wcet_pes,
+            weibull: None,
         })
+    }
+
+    /// Attaches a fitted Weibull execution-time law to the profile. The
+    /// fit's location (BCET) must not exceed the ACET, and the fit is
+    /// otherwise validated for positivity/finiteness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskError::InvalidProfile`] for non-finite or
+    /// non-positive parameters, or `location > acet`.
+    pub fn with_weibull(mut self, fit: WeibullFit) -> Result<Self, TaskError> {
+        fit.validate()?;
+        if fit.location > self.acet {
+            return Err(TaskError::InvalidProfile {
+                reason: "weibull location (BCET) must not exceed acet",
+            });
+        }
+        self.weibull = Some(fit);
+        Ok(self)
+    }
+
+    /// The fitted Weibull execution-time law, if the profile carries one.
+    pub fn weibull(&self) -> Option<&WeibullFit> {
+        self.weibull.as_ref()
     }
 
     /// Builds a profile from a measured [`Summary`] and a pessimistic WCET
@@ -178,6 +244,69 @@ mod tests {
         assert_eq!(p.acet(), 5.0);
         assert_eq!(p.sigma(), 2.0);
         assert_eq!(p.wcet_pes(), 20.0);
+    }
+
+    #[test]
+    fn weibull_fit_attachment_validates_and_round_trips() {
+        let p = ExecutionProfile::new(1_000.0, 300.0, 30_000.0).unwrap();
+        assert!(p.weibull().is_none());
+        // Pre-automotive JSON has no `weibull` key; `serde(default)` must
+        // keep it loading, and a fresh round trip must be stable.
+        let legacy = r#"{"acet":1000.0,"sigma":300.0,"wcet_pes":30000.0}"#;
+        let back: ExecutionProfile = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back, p);
+        let round: ExecutionProfile =
+            serde_json::from_str(&serde_json::to_string(&p).unwrap()).unwrap();
+        assert_eq!(round, p);
+
+        let fit = WeibullFit {
+            location: 190.0,
+            shape: 0.7,
+            scale: 2_000.0,
+        };
+        let pw = p.with_weibull(fit).unwrap();
+        assert_eq!(pw.weibull(), Some(&fit));
+        let json = serde_json::to_string(&pw).unwrap();
+        let back: ExecutionProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pw);
+
+        let bad = [
+            WeibullFit {
+                location: -1.0,
+                ..fit
+            },
+            WeibullFit { shape: 0.0, ..fit },
+            WeibullFit {
+                scale: f64::NAN,
+                ..fit
+            },
+            WeibullFit {
+                location: 2_000.0,
+                ..fit
+            }, // above ACET
+        ];
+        for b in bad {
+            assert!(p.with_weibull(b).is_err(), "{b:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn weibull_quantile_is_monotone_and_anchored() {
+        let fit = WeibullFit {
+            location: 100.0,
+            shape: 2.0,
+            scale: 50.0,
+        };
+        assert!((fit.quantile(0.0) - 100.0).abs() < 1e-12);
+        // Median of a k=2 Weibull: location + scale * ln(2)^(1/2).
+        let med = 100.0 + 50.0 * std::f64::consts::LN_2.sqrt();
+        assert!((fit.quantile(0.5) - med).abs() < 1e-9);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..100 {
+            let q = fit.quantile(i as f64 / 100.0);
+            assert!(q >= last);
+            last = q;
+        }
     }
 
     #[test]

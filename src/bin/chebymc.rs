@@ -24,8 +24,12 @@ const USAGE: &str = "\
 chebymc — Chebyshev-based WCET assignment for mixed-criticality systems
 
 USAGE:
-  chebymc generate [--u <bound>] [--seed <n>] [--p-high <p>] [-o <file>]
-      Generate a synthetic dual-criticality workload (default --u 0.7).
+  chebymc generate [--family synthetic|automotive] [--u <bound>] [--seed <n>]
+                   [--p-high <p>] [--runnables <n>] [-o <file>]
+      Generate a dual-criticality workload (default --u 0.7). The
+      default `synthetic` family follows the paper's §V generator;
+      `automotive` draws --runnables tasks (default 1000) from the
+      Bosch period/share bins with fitted Weibull execution times.
 
   chebymc analyze <workload.json>
       Print design metrics (Eq. 8 schedulability, P_MS, max U_LC^LO).
@@ -62,9 +66,9 @@ USAGE:
       List the built-in experiment campaigns.
 
   chebymc exp run <campaign> [--store <file.jsonl>] [--sets <n>]
-                  [--samples <n>] [--seed <n>] [--threads <n>]
-                  [--shard <i/n>] [--csv <file.csv>] [--trace <file.jsonl>]
-                  [--quiet]
+                  [--samples <n>] [--seed <n>] [--runnables <n>]
+                  [--threads <n>] [--shard <i/n>] [--csv <file.csv>]
+                  [--trace <file.jsonl>] [--quiet]
       Run (or resume) a campaign against a crash-safe JSONL result
       store: completed units are skipped on restart, shards split the
       units across processes, and every record is fsync'd before it
@@ -87,7 +91,8 @@ USAGE:
 
   chebymc serve <campaign> --store <file.jsonl> [--listen <addr>]
                 [--leases <n>] [--timeout-ms <n>] [--addr-file <file>]
-                [--sets <n>] [--samples <n>] [--seed <n>] [-o <merged.jsonl>]
+                [--sets <n>] [--samples <n>] [--seed <n>] [--runnables <n>]
+                [-o <merged.jsonl>]
                 [--trace <file.jsonl>] [--quiet]
       Coordinate a distributed run of a catalog campaign: listen for
       workers, lease out `i/n` stripes, reclaim leases from dead or
@@ -275,13 +280,16 @@ fn print_metrics(m: &DesignMetrics) {
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let (mut u, mut seed, mut p_high, mut out) = (None, None, None, None);
+    let (mut family, mut u, mut seed, mut p_high, mut runnables, mut out) =
+        (None, None, None, None, None, None);
     let positional = parse_flags(
         args,
         &mut [
+            ("--family", &mut family),
             ("--u", &mut u),
             ("--seed", &mut seed),
             ("--p-high", &mut p_high),
+            ("--runnables", &mut runnables),
             ("-o", &mut out),
         ],
     )?;
@@ -290,23 +298,55 @@ fn cmd_generate(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let u: f64 = u.as_deref().unwrap_or("0.7").parse()?;
     let seed: u64 = seed.as_deref().unwrap_or("0").parse()?;
-    let mut cfg = GeneratorConfig::default();
-    if let Some(p) = p_high {
-        cfg.p_high = p.parse()?;
-    }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let ts = generate_mixed_taskset(u, &cfg, &mut rng)?;
-    let workload = Workload::new(
-        format!("synthetic-u{u}-seed{seed}"),
-        format!(
-            "synthetic dual-criticality workload, bound utilisation {u}, \
-             {} tasks ({} HC / {} LC), periods 100-900 ms, 1 GHz (1 cycle = 1 ns)",
-            ts.len(),
-            ts.hc_count(),
-            ts.lc_count()
-        ),
-        ts,
-    );
+    let workload = match family.as_deref().unwrap_or("synthetic") {
+        "synthetic" => {
+            if runnables.is_some() {
+                return Err("--runnables only applies to --family automotive".into());
+            }
+            let mut cfg = GeneratorConfig::default();
+            if let Some(p) = p_high {
+                cfg.p_high = p.parse()?;
+            }
+            let ts = generate_mixed_taskset(u, &cfg, &mut rng)?;
+            Workload::new(
+                format!("synthetic-u{u}-seed{seed}"),
+                format!(
+                    "synthetic dual-criticality workload, bound utilisation {u}, \
+                     {} tasks ({} HC / {} LC), periods 100-900 ms, 1 GHz (1 cycle = 1 ns)",
+                    ts.len(),
+                    ts.hc_count(),
+                    ts.lc_count()
+                ),
+                ts,
+            )
+        }
+        "automotive" => {
+            let mut cfg = AutomotiveConfig::default();
+            if let Some(p) = p_high {
+                cfg.p_high = p.parse()?;
+            }
+            if let Some(r) = runnables {
+                cfg.runnables = r.parse()?;
+            }
+            let ts = generate_automotive_taskset(u, &cfg, &mut rng)?;
+            Workload::new(
+                format!("automotive-u{u}-seed{seed}"),
+                format!(
+                    "Bosch-calibrated automotive workload, bound utilisation {u}, \
+                     {} runnables ({} HC / {} LC), period bins 1-1000 ms, fitted \
+                     Weibull execution times, 1 GHz (1 cycle = 1 ns)",
+                    ts.len(),
+                    ts.hc_count(),
+                    ts.lc_count()
+                ),
+                ts,
+            )
+        }
+        other => {
+            return Err(format!("unknown family `{other}` (known: synthetic, automotive)").into())
+        }
+    };
     write_or_print(out, &workload.to_json()?)
 }
 
@@ -580,7 +620,8 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     use chebymc::serve::{Coordinator, CoordinatorConfig};
     let mut args = args.to_vec();
     let quiet = take_switch(&mut args, "--quiet");
-    let (mut store_path, mut sets, mut samples, mut seed) = (None, None, None, None);
+    let (mut store_path, mut sets, mut samples, mut seed, mut runnables) =
+        (None, None, None, None, None);
     let (mut listen, mut leases, mut timeout_ms, mut addr_file, mut out, mut trace) =
         (None, None, None, None, None, None);
     let positional = parse_flags(
@@ -590,6 +631,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             ("--sets", &mut sets),
             ("--samples", &mut samples),
             ("--seed", &mut seed),
+            ("--runnables", &mut runnables),
             ("--listen", &mut listen),
             ("--leases", &mut leases),
             ("--timeout-ms", &mut timeout_ms),
@@ -606,6 +648,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         samples: samples.as_deref().map(str::parse).transpose()?,
         seed: seed.as_deref().map(str::parse).transpose()?,
         points: None,
+        runnables: runnables.as_deref().map(str::parse).transpose()?,
     };
     let campaign = catalog::build(name, &opts)?;
     let store_path = store_path.ok_or("serve needs --store <file.jsonl>")?;
@@ -839,7 +882,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let quiet = take_switch(&mut args, "--quiet");
     let (mut store_path, mut sets, mut samples, mut seed, mut threads, mut shard, mut csv) =
         (None, None, None, None, None, None, None);
-    let mut trace = None;
+    let (mut trace, mut runnables) = (None, None);
     let positional = parse_flags(
         &args,
         &mut [
@@ -847,6 +890,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             ("--sets", &mut sets),
             ("--samples", &mut samples),
             ("--seed", &mut seed),
+            ("--runnables", &mut runnables),
             ("--threads", &mut threads),
             ("--shard", &mut shard),
             ("--csv", &mut csv),
@@ -861,6 +905,7 @@ fn exp_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         samples: samples.as_deref().map(str::parse).transpose()?,
         seed: seed.as_deref().map(str::parse).transpose()?,
         points: None,
+        runnables: runnables.as_deref().map(str::parse).transpose()?,
     };
     let campaign = catalog::build(name, &opts)?;
     let threads: usize = threads.as_deref().unwrap_or("0").parse()?;

@@ -76,6 +76,7 @@ pub mod prelude {
     pub use mc_stats::chebyshev::{n_for_probability, one_sided_bound};
     pub use mc_stats::dist::Dist;
     pub use mc_stats::summary::Summary;
+    pub use mc_task::automotive::{generate_automotive_taskset, AutomotiveConfig};
     pub use mc_task::generate::{
         generate_hc_taskset, generate_lo_bounded_taskset, generate_mixed_taskset, uunifast,
         GeneratorConfig,

@@ -18,9 +18,7 @@ fn tmp(name: &str) -> std::path::PathBuf {
 fn tracing_leaves_the_store_bit_identical_and_accounts_for_the_session() {
     let opts = catalog::CatalogOptions {
         sets: Some(2),
-        samples: None,
-        points: None,
-        seed: None,
+        ..catalog::CatalogOptions::default()
     };
     let cfg = RunConfig {
         threads: 1, // serial: unit spans must tile the session wall clock
